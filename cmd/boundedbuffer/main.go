@@ -1,0 +1,77 @@
+// Command boundedbuffer regenerates the bounded-buffer microbenchmark
+// figures of the evaluation (Figure 2.3 eager STM, Figure 2.4 lazy STM,
+// Figure 2.5 HTM): a grid of producer/consumer configurations × buffer
+// sizes, with one timing column per condition-synchronization mechanism.
+//
+// Usage:
+//
+//	go run ./cmd/boundedbuffer -engine eager [-ops 1048576] [-trials 5] [-quick]
+//
+// The paper's full experiment uses 2^20 elements and 5 trials; -quick
+// shrinks both for a fast sanity pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tmsync/internal/bench"
+	"tmsync/internal/stats"
+)
+
+func main() {
+	engine := flag.String("engine", "eager", "TM engine: eager | lazy | htm | hybrid")
+	ops := flag.Int("ops", 1<<20, "elements produced (and consumed) per trial")
+	trials := flag.Int("trials", 5, "trials per configuration (values are averaged)")
+	quick := flag.Bool("quick", false, "small run: 2^14 ops, 2 trials, reduced grid")
+	flag.Parse()
+
+	if _, err := bench.NewSystem(*engine); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	threadCounts := []int{1, 2, 4, 8}
+	sizes := []int{4, 16, 128}
+	if *quick {
+		*ops = 1 << 14
+		*trials = 2
+		threadCounts = []int{1, 2}
+	}
+	figure, ok := map[string]string{"eager": "2.3", "lazy": "2.4", "htm": "2.5"}[*engine]
+	if !ok {
+		figure = "ext (HyTM extension, no paper counterpart)"
+	}
+	fmt.Printf("# Figure %s: bounded buffer performance with %s\n", figure, *engine)
+	fmt.Printf("# %d elements produced+consumed per trial, buffer half-filled, %d trials\n", *ops, *trials)
+	fmt.Printf("# values: seconds (mean±stddev)\n\n")
+
+	mechs := bench.MechsFor(*engine)
+	for _, p := range threadCounts {
+		for _, c := range threadCounts {
+			fmt.Printf("## p%d-c%d\n", p, c)
+			fmt.Printf("%-8s", "bufsize")
+			for _, m := range mechs {
+				fmt.Printf(" %16s", m)
+			}
+			fmt.Println()
+			for _, size := range sizes {
+				fmt.Printf("%-8d", size)
+				for _, m := range mechs {
+					ts, err := bench.RunBuffer(bench.BufferConfig{
+						Engine: *engine, Mech: m,
+						Producers: p, Consumers: c, BufferSize: size,
+						TotalOps: *ops, Trials: *trials,
+					})
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					fmt.Printf(" %16s", stats.Summarize(ts))
+				}
+				fmt.Println()
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,314 @@
+// Command loctable regenerates Table 2.1: for each of the eight PARSEC
+// benchmarks, the number of unique condition-synchronization points and
+// the lines of code each mechanism contributes at those points, versus the
+// lines of lock/condvar code it replaces.
+//
+// The numbers are derived from this repository's real sources: sync points
+// are the `// syncpoint(<bench>)` markers in internal/parsecsim, each
+// classified by the primitive it uses (queue wait, counter wait, barrier),
+// and per-mechanism line counts are measured from the mechanism-specific
+// branches of those primitives (internal/parsecsim/kit.go and the bounded
+// buffer of internal/buffer). "Removed" is the Pthreads (lock + condvar)
+// code those branches replace.
+//
+// Usage: go run ./cmd/loctable [-src internal/parsecsim]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// primitive kinds a sync point can use.
+const (
+	kindQueueGet = "queue-get"
+	kindQueuePut = "queue-put"
+	kindCounter  = "counter-wait"
+	kindBarrier  = "barrier"
+)
+
+var benchNames = []string{
+	"bodytrack", "dedup", "facesim", "ferret",
+	"fluidanimate", "raytrace", "streamcluster", "x264",
+}
+
+func main() {
+	src := flag.String("src", "internal/parsecsim", "parsecsim source directory")
+	bufSrc := flag.String("bufsrc", "internal/buffer", "bounded-buffer source directory")
+	flag.Parse()
+
+	points, err := collectSyncPoints(*src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	kitLines, err := measureKit(filepath.Join(*src, "kit.go"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	bufLines, err := measureBuffer(filepath.Join(*bufSrc, "buffer.go"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Lines contributed by mechanism m at a sync point of the given kind.
+	cost := func(m, kind string) int {
+		switch kind {
+		case kindQueueGet:
+			return bufLines[m]["get"]
+		case kindQueuePut:
+			return bufLines[m]["put"]
+		case kindCounter:
+			return kitLines[m]["counter"]
+		case kindBarrier:
+			return kitLines[m]["barrier"]
+		}
+		return 0
+	}
+
+	fmt.Println("# Table 2.1: lines of code added and removed per condition")
+	fmt.Println("# synchronization mechanism (derived from this repository's sources).")
+	fmt.Println("# Parenthesized: unique condition synchronization points.")
+	fmt.Println()
+	fmt.Printf("%-20s %9s %7s %7s %9s\n", "Benchmark", "WaitPred", "Await", "Retry", "Removed")
+	for _, name := range benchNames {
+		pts := points[name]
+		if len(pts) == 0 {
+			fmt.Fprintf(os.Stderr, "no sync points found for %s\n", name)
+			os.Exit(1)
+		}
+		var wp, aw, rt, rm int
+		for _, kind := range pts {
+			wp += cost("waitpred", kind)
+			aw += cost("await", kind)
+			rt += cost("retry", kind)
+			rm += cost("pthreads", kind)
+		}
+		fmt.Printf("%-20s %9d %7d %7d %9d\n",
+			fmt.Sprintf("%s (%d)", name, len(pts)), wp, aw, rt, rm)
+	}
+}
+
+var markerRe = regexp.MustCompile(`//\s*syncpoint\((\w+)\)`)
+
+// collectSyncPoints scans the workload sources for syncpoint markers and
+// classifies each by the primitive used on the marker's line or the next.
+func collectSyncPoints(dir string) (map[string][]string, error) {
+	out := make(map[string][]string)
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		lines, err := readLines(f)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range lines {
+			m := markerRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			kind := classify(lines, i)
+			if kind == "" {
+				return nil, fmt.Errorf("%s:%d: cannot classify sync point", f, i+1)
+			}
+			out[m[1]] = append(out[m[1]], kind)
+		}
+	}
+	return out, nil
+}
+
+func classify(lines []string, at int) string {
+	for j := at; j < len(lines) && j <= at+3; j++ {
+		l := lines[j]
+		switch {
+		case strings.Contains(l, ".Get("):
+			return kindQueueGet
+		case strings.Contains(l, ".Put("):
+			return kindQueuePut
+		case strings.Contains(l, ".WaitAtLeast("):
+			return kindCounter
+		case strings.Contains(l, ".Arrive("):
+			return kindBarrier
+		}
+	}
+	return ""
+}
+
+// measureKit counts the mechanism-specific lines of the Counter and
+// Barrier wait paths in kit.go: the `case mech.X:` branches plus, for
+// Pthreads, the dedicated lock/condvar blocks.
+func measureKit(path string) (map[string]map[string]int, error) {
+	lines, err := readLines(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]map[string]int{}
+	add := func(m, prim string, n int) {
+		if out[m] == nil {
+			out[m] = map[string]int{}
+		}
+		out[m][prim] += n
+	}
+	// Locate the two wait methods and count per-mechanism case branches.
+	for _, prim := range []struct{ name, method string }{
+		{"counter", "func (c *Counter) WaitAtLeast"},
+		{"barrier", "func (b *Barrier) Arrive"},
+	} {
+		body := methodBody(lines, prim.method)
+		if body == nil {
+			return nil, fmt.Errorf("%s: method %q not found", path, prim.method)
+		}
+		for m, n := range caseBranchLines(body) {
+			add(m, prim.name, n)
+		}
+		add("pthreads", prim.name, pthreadsBlockLines(body))
+	}
+	return out, nil
+}
+
+// measureBuffer counts the lines of each per-mechanism Put/Get variant of
+// the bounded buffer (Figure 2.2) and of the lock-based baseline.
+func measureBuffer(path string) (map[string]map[string]int, error) {
+	lines, err := readLines(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]map[string]int{}
+	set := func(m, prim string, n int) {
+		if out[m] == nil {
+			out[m] = map[string]int{}
+		}
+		out[m][prim] = n
+	}
+	variants := map[string][2]string{
+		"waitpred":   {"PutPred", "GetPred"},
+		"await":      {"PutAwait", "GetAwait"},
+		"retry":      {"PutRetry", "GetRetry"},
+		"retry-orig": {"PutOrig", "GetOrig"},
+		"restart":    {"PutRestart", "GetRestart"},
+		"tmcondvar":  {"PutCondVar", "GetCondVar"},
+	}
+	for m, pg := range variants {
+		put := methodBody(lines, "func (b *TMBuffer) "+pg[0])
+		get := methodBody(lines, "func (b *TMBuffer) "+pg[1])
+		if put == nil || get == nil {
+			return nil, fmt.Errorf("%s: methods for %s not found", path, m)
+		}
+		set(m, "put", countCode(put))
+		set(m, "get", countCode(get))
+	}
+	set("pthreads", "put", countCode(methodBody(lines, "func (b *LockBuffer) Put")))
+	set("pthreads", "get", countCode(methodBody(lines, "func (b *LockBuffer) Get")))
+	return out, nil
+}
+
+// methodBody returns the lines of the first method whose declaration
+// starts with prefix, up to its closing brace.
+func methodBody(lines []string, prefix string) []string {
+	for i, l := range lines {
+		if strings.HasPrefix(l, prefix) {
+			depth := 0
+			for j := i; j < len(lines); j++ {
+				depth += strings.Count(lines[j], "{") - strings.Count(lines[j], "}")
+				if depth == 0 && j > i {
+					return lines[i : j+1]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+var caseRe = regexp.MustCompile(`case mech\.(\w+):`)
+
+// caseBranchLines counts the code lines in each `case mech.X:` branch.
+func caseBranchLines(body []string) map[string]int {
+	out := map[string]int{}
+	names := map[string]string{
+		"TMCondVar": "tmcondvar", "WaitPred": "waitpred", "Await": "await",
+		"Retry": "retry", "RetryOrig": "retry-orig", "Restart": "restart",
+	}
+	cur := ""
+	for _, l := range body {
+		if m := caseRe.FindStringSubmatch(l); m != nil {
+			cur = names[m[1]]
+			out[cur]++ // the case label itself
+			continue
+		}
+		t := strings.TrimSpace(l)
+		if strings.HasPrefix(t, "case ") || strings.HasPrefix(t, "default:") || t == "}" {
+			cur = ""
+			continue
+		}
+		if cur != "" && t != "" && !strings.HasPrefix(t, "//") {
+			out[cur]++
+		}
+	}
+	return out
+}
+
+// pthreadsBlockLines counts code inside `if ... mech.Pthreads {` guards.
+func pthreadsBlockLines(body []string) int {
+	n := 0
+	depth := 0
+	for _, l := range body {
+		if strings.Contains(l, "mech.Pthreads") && strings.Contains(l, "{") {
+			depth = 1
+			continue
+		}
+		if depth > 0 {
+			depth += strings.Count(l, "{") - strings.Count(l, "}")
+			if depth <= 0 {
+				depth = 0
+				continue
+			}
+			t := strings.TrimSpace(l)
+			if t != "" && !strings.HasPrefix(t, "//") {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// countCode counts non-blank, non-comment lines of a method body,
+// excluding the declaration and closing brace.
+func countCode(body []string) int {
+	if body == nil {
+		return 0
+	}
+	n := 0
+	for _, l := range body[1 : len(body)-1] {
+		t := strings.TrimSpace(l)
+		if t != "" && !strings.HasPrefix(t, "//") {
+			n++
+		}
+	}
+	return n
+}
+
+func readLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var lines []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	return lines, sc.Err()
+}

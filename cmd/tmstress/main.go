@@ -1,0 +1,162 @@
+// Command tmstress soak-tests a TM engine and condition-synchronization
+// mechanism combination: producers and consumers hammer a tiny bounded
+// buffer (the configuration most prone to lost wakeups) for a fixed
+// duration, then conservation is verified: every produced element must be
+// consumed exactly once. Useful for shaking out races unit tests miss.
+//
+// Usage:
+//
+//	go run ./cmd/tmstress -engine hybrid -mech retry -threads 8 -seconds 10
+//	go run ./cmd/tmstress -all -seconds 2   # every engine × mechanism
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tmsync/internal/bench"
+	"tmsync/internal/buffer"
+	"tmsync/internal/mech"
+	"tmsync/internal/tm"
+)
+
+// pill is the shutdown marker; consumers exit when they dequeue it.
+const pill = ^uint64(0)
+
+func main() {
+	engine := flag.String("engine", "eager", "TM engine: eager | lazy | htm | hybrid")
+	mechName := flag.String("mech", "retry", "mechanism (see internal/mech)")
+	threads := flag.Int("threads", 8, "total workers (half produce, half consume)")
+	seconds := flag.Float64("seconds", 5, "soak duration per configuration")
+	capacity := flag.Int("cap", 2, "buffer capacity (small = maximal contention)")
+	all := flag.Bool("all", false, "soak every engine × mechanism combination")
+	flag.Parse()
+
+	failed := false
+	if *all {
+		for _, e := range []string{"eager", "lazy", "htm", "hybrid"} {
+			for _, m := range bench.MechsFor(e) {
+				if !soak(e, m, *threads, *capacity, *seconds) {
+					failed = true
+				}
+			}
+		}
+	} else {
+		if !soak(*engine, mech.Mechanism(*mechName), *threads, *capacity, *seconds) {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// soak runs the workload for the given duration and verifies conservation.
+// Shutdown protocol: producers stop producing on the flag; once all have
+// exited, the main thread feeds one pill per consumer (consumers exit only
+// on a pill, so blocked producers always find room); leftovers are drained
+// and counted at the end.
+func soak(engine string, m mech.Mechanism, threads, capacity int, seconds float64) bool {
+	producers := max(threads/2, 1)
+	consumers := max(threads-producers, 1)
+
+	var produced, consumed atomic.Uint64
+	var stop atomic.Bool
+	var wgProd, wgCons sync.WaitGroup
+
+	var put func(thr *tm.Thread, v uint64)
+	var get func(thr *tm.Thread) uint64
+	var count func(thr *tm.Thread) int
+	newThread := func() *tm.Thread { return nil }
+	var tmStats func() map[string]uint64
+
+	if m == mech.Pthreads {
+		b := buffer.NewLock(capacity)
+		put = func(_ *tm.Thread, v uint64) { b.Put(v) }
+		get = func(_ *tm.Thread) uint64 { return b.Get() }
+		count = func(_ *tm.Thread) int { return b.Count() }
+	} else {
+		s, err := bench.NewSystem(engine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return false
+		}
+		b := buffer.NewTM(capacity)
+		newThread = func() *tm.Thread { return s.NewThread() }
+		put = func(thr *tm.Thread, v uint64) { b.PutMech(thr, m, v) }
+		get = func(thr *tm.Thread) uint64 { return b.GetMech(thr, m) }
+		count = func(thr *tm.Thread) int {
+			var n int
+			thr.Atomic(func(tx *tm.Tx) { n = int(b.Count(tx)) })
+			return n
+		}
+		tmStats = s.Stats.Snapshot
+	}
+
+	start := time.Now()
+	for p := 0; p < producers; p++ {
+		wgProd.Add(1)
+		go func() {
+			defer wgProd.Done()
+			thr := newThread()
+			for n := uint64(1); !stop.Load(); n++ {
+				put(thr, n)
+				produced.Add(1)
+			}
+		}()
+	}
+	for c := 0; c < consumers; c++ {
+		wgCons.Add(1)
+		go func() {
+			defer wgCons.Done()
+			thr := newThread()
+			for {
+				if get(thr) == pill {
+					return
+				}
+				consumed.Add(1)
+			}
+		}()
+	}
+
+	time.Sleep(time.Duration(seconds * float64(time.Second)))
+	stop.Store(true)
+	wgProd.Wait()
+	main := newThread()
+	for c := 0; c < consumers; c++ {
+		put(main, pill)
+	}
+	wgCons.Wait()
+	// Drain leftovers: committed produces whose consumes never ran, plus
+	// any pills that raced past an exiting consumer.
+	for count(main) > 0 {
+		if get(main) != pill {
+			consumed.Add(1)
+		}
+	}
+
+	var stats map[string]uint64
+	if tmStats != nil {
+		stats = tmStats()
+	}
+	return report(engine, m, time.Since(start), produced.Load(), consumed.Load(), stats)
+}
+
+func report(engine string, m mech.Mechanism, elapsed time.Duration, produced, consumed uint64, stats map[string]uint64) bool {
+	ok := produced == consumed
+	status := "OK"
+	if !ok {
+		status = "LOST ELEMENTS"
+	}
+	fmt.Printf("%-7s %-11s %6.1fs  produced=%-10d consumed=%-10d %s\n",
+		engine, m, elapsed.Seconds(), produced, consumed, status)
+	if stats != nil {
+		fmt.Printf("        commits=%d aborts=%d deschedules=%d wakeups=%d serializations=%d\n",
+			stats["commits"], stats["aborts"], stats["deschedules"], stats["wakeups"], stats["serializations"])
+	}
+	return ok
+}

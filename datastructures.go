@@ -1,0 +1,47 @@
+package tmsync
+
+import "tmsync/internal/txds"
+
+// Transactional data structures: an arena allocator plus a queue, stack,
+// and hash map whose blocking operations are built from the condition-
+// synchronization mechanisms (a Take on an empty queue Retries; an
+// exhausted arena makes allocators wait for a Free; Map.WaitFor waits on
+// one key with WaitPred). Because Retry composes, the *Tx methods of these
+// structures can be combined into larger atomic operations — see
+// examples/datastructures.
+
+// NilNode is the null node index of an Arena.
+const NilNode = txds.Nil
+
+// Arena is a fixed-capacity transactional node allocator.
+type Arena = txds.Arena
+
+// NewArena returns an arena of capacity nodes, each nodeWords words wide.
+func NewArena(capacity, nodeWords int) *Arena { return txds.NewArena(capacity, nodeWords) }
+
+// Queue is an unbounded transactional FIFO queue (bounded by its arena).
+type Queue = txds.Queue
+
+// QueueNodeWords is the arena node width a Queue requires.
+const QueueNodeWords = txds.QueueNodeWords
+
+// NewQueue returns an empty queue drawing nodes from arena.
+func NewQueue(arena *Arena) *Queue { return txds.NewQueue(arena) }
+
+// Stack is a transactional LIFO stack.
+type Stack = txds.Stack
+
+// StackNodeWords is the arena node width a Stack requires.
+const StackNodeWords = txds.StackNodeWords
+
+// NewStack returns an empty stack drawing nodes from arena.
+func NewStack(arena *Arena) *Stack { return txds.NewStack(arena) }
+
+// Map is a transactional hash map from word keys to word values.
+type Map = txds.Map
+
+// MapNodeWords is the arena node width a Map requires.
+const MapNodeWords = txds.MapNodeWords
+
+// NewMap returns an empty map with nbuckets chains (power of two).
+func NewMap(arena *Arena, nbuckets int) *Map { return txds.NewMap(arena, nbuckets) }

@@ -1,0 +1,186 @@
+// Package bench is the measurement harness behind every table and figure
+// of the evaluation (§2.4): it times the bounded-buffer microbenchmark
+// grid of Figures 2.3–2.5 and the PARSEC-skeleton matrix of Figures
+// 2.6–2.8, averaging multiple trials as the paper does.
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tmsync"
+	"tmsync/internal/buffer"
+	"tmsync/internal/mech"
+	"tmsync/internal/parsecsim"
+	"tmsync/internal/stats"
+	"tmsync/internal/tm"
+)
+
+// NewSystem builds a TM system for the named engine ("eager", "lazy",
+// "htm"), with condition synchronization enabled.
+func NewSystem(engine string) (*tmsync.System, error) {
+	switch tmsync.EngineKind(engine) {
+	case tmsync.Eager, tmsync.Lazy, tmsync.HTM, tmsync.Hybrid:
+		return tmsync.New(tmsync.EngineKind(engine), tmsync.Config{}), nil
+	}
+	return nil, fmt.Errorf("bench: unknown engine %q", engine)
+}
+
+// BufferConfig parameterizes one bounded-buffer cell: the paper's pi-cj
+// panels with buffer sizes 4/16/128 (§2.4.1).
+type BufferConfig struct {
+	Engine     string // ignored for the Pthreads mechanism
+	Mech       mech.Mechanism
+	Producers  int
+	Consumers  int
+	BufferSize int
+	// TotalOps is the number of elements produced and consumed
+	// (the paper uses 2^20); it must be divisible by both thread counts.
+	TotalOps int
+	Trials   int
+}
+
+// RunBuffer measures cfg, returning per-trial wall-clock seconds.
+func RunBuffer(cfg BufferConfig) ([]float64, error) {
+	if cfg.TotalOps%cfg.Producers != 0 || cfg.TotalOps%cfg.Consumers != 0 {
+		return nil, fmt.Errorf("bench: TotalOps %d not divisible by p=%d, c=%d", cfg.TotalOps, cfg.Producers, cfg.Consumers)
+	}
+	times := make([]float64, 0, cfg.Trials)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		secs, err := runBufferTrial(cfg)
+		if err != nil {
+			return nil, err
+		}
+		times = append(times, secs)
+	}
+	return times, nil
+}
+
+// prefill half-fills the buffer, as the experiments do before each trial.
+func prefillVals(size int) []uint64 {
+	vals := make([]uint64, size/2)
+	for i := range vals {
+		vals[i] = uint64(i) + 1
+	}
+	return vals
+}
+
+func runBufferTrial(cfg BufferConfig) (float64, error) {
+	perProd := cfg.TotalOps / cfg.Producers
+	perCons := cfg.TotalOps / cfg.Consumers
+	var wg sync.WaitGroup
+
+	if cfg.Mech == mech.Pthreads {
+		b := buffer.NewLock(cfg.BufferSize)
+		b.Prefill(prefillVals(cfg.BufferSize))
+		start := time.Now()
+		for p := 0; p < cfg.Producers; p++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				for i := 0; i < perProd; i++ {
+					b.Put(uint64(id*perProd+i) + 1)
+				}
+			}(p)
+		}
+		for c := 0; c < cfg.Consumers; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perCons; i++ {
+					b.Get()
+				}
+			}()
+		}
+		wg.Wait()
+		return time.Since(start).Seconds(), nil
+	}
+
+	sys, err := NewSystem(cfg.Engine)
+	if err != nil {
+		return 0, err
+	}
+	b := buffer.NewTM(cfg.BufferSize)
+	b.Prefill(prefillVals(cfg.BufferSize))
+	start := time.Now()
+	for p := 0; p < cfg.Producers; p++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			thr := sys.NewThread()
+			for i := 0; i < perProd; i++ {
+				b.PutMech(thr, cfg.Mech, uint64(id*perProd+i)+1)
+			}
+		}(p)
+	}
+	for c := 0; c < cfg.Consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			thr := sys.NewThread()
+			for i := 0; i < perCons; i++ {
+				b.GetMech(thr, cfg.Mech)
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start).Seconds(), nil
+}
+
+// ParsecConfig parameterizes one PARSEC-skeleton cell (Figures 2.6–2.8).
+type ParsecConfig struct {
+	Engine    string
+	Mech      mech.Mechanism
+	Benchmark string
+	Threads   int
+	Scale     int
+	Trials    int
+}
+
+// RunParsec measures cfg, returning per-trial seconds and the workload
+// checksum (identical across mechanisms, or the run is invalid).
+func RunParsec(cfg ParsecConfig) ([]float64, uint64, error) {
+	b, err := parsecsim.ByName(cfg.Benchmark)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !b.ValidThreads(cfg.Threads) {
+		return nil, 0, fmt.Errorf("bench: %s does not run at %d threads", cfg.Benchmark, cfg.Threads)
+	}
+	var sum uint64
+	times := make([]float64, 0, cfg.Trials)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		k := &parsecsim.Kit{Mech: cfg.Mech}
+		if cfg.Mech != mech.Pthreads {
+			sys, err := NewSystem(cfg.Engine)
+			if err != nil {
+				return nil, 0, err
+			}
+			k.Sys = sys.System
+		}
+		start := time.Now()
+		cs := b.Run(k, cfg.Threads, cfg.Scale)
+		times = append(times, time.Since(start).Seconds())
+		if trial == 0 {
+			sum = cs
+		} else if cs != sum {
+			return nil, 0, fmt.Errorf("bench: %s checksum varied across trials (%x vs %x)", cfg.Benchmark, cs, sum)
+		}
+	}
+	return times, sum, nil
+}
+
+// MechsFor lists the mechanisms that run under an engine, Pthreads first
+// (Retry-Orig is omitted under HTM, as in the paper's figures).
+func MechsFor(engine string) []mech.Mechanism { return mech.ForEngine(engine) }
+
+// Cell is one measured (mechanism → timing) entry of a figure panel.
+type Cell struct {
+	Mech    mech.Mechanism
+	Summary stats.Summary
+}
+
+// ThreadOf exposes tm.Thread construction to callers that only hold the
+// facade type (examples and cmds construct workers themselves).
+func ThreadOf(sys *tmsync.System) *tm.Thread { return sys.NewThread() }

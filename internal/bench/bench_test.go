@@ -1,0 +1,94 @@
+package bench_test
+
+import (
+	"testing"
+
+	"tmsync/internal/bench"
+	"tmsync/internal/mech"
+)
+
+func TestNewSystemEngines(t *testing.T) {
+	for _, e := range []string{"eager", "lazy", "htm"} {
+		if _, err := bench.NewSystem(e); err != nil {
+			t.Errorf("NewSystem(%s): %v", e, err)
+		}
+	}
+	if _, err := bench.NewSystem("nope"); err == nil {
+		t.Error("NewSystem(nope) should fail")
+	}
+}
+
+func TestRunBufferSmall(t *testing.T) {
+	for _, m := range []mech.Mechanism{mech.Pthreads, mech.Retry, mech.TMCondVar} {
+		ts, err := bench.RunBuffer(bench.BufferConfig{
+			Engine: "lazy", Mech: m,
+			Producers: 2, Consumers: 2, BufferSize: 4,
+			TotalOps: 2048, Trials: 2,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if len(ts) != 2 {
+			t.Fatalf("%s: %d trials", m, len(ts))
+		}
+		for _, x := range ts {
+			if x <= 0 {
+				t.Fatalf("%s: non-positive time %v", m, x)
+			}
+		}
+	}
+}
+
+func TestRunBufferRejectsIndivisible(t *testing.T) {
+	_, err := bench.RunBuffer(bench.BufferConfig{
+		Engine: "lazy", Mech: mech.Retry,
+		Producers: 3, Consumers: 2, BufferSize: 4, TotalOps: 100, Trials: 1,
+	})
+	if err == nil {
+		t.Fatal("expected divisibility error")
+	}
+}
+
+func TestRunParsecChecksumAgreement(t *testing.T) {
+	var ref uint64
+	for i, m := range []mech.Mechanism{mech.Pthreads, mech.Retry, mech.Await} {
+		ts, cs, err := bench.RunParsec(bench.ParsecConfig{
+			Engine: "eager", Mech: m, Benchmark: "ferret",
+			Threads: 2, Scale: 1, Trials: 1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if len(ts) != 1 {
+			t.Fatalf("%s: %d trials", m, len(ts))
+		}
+		if i == 0 {
+			ref = cs
+		} else if cs != ref {
+			t.Fatalf("%s checksum %x != pthreads %x", m, cs, ref)
+		}
+	}
+}
+
+func TestRunParsecRejectsInvalidThreads(t *testing.T) {
+	if _, _, err := bench.RunParsec(bench.ParsecConfig{
+		Engine: "eager", Mech: mech.Retry, Benchmark: "fluidanimate",
+		Threads: 3, Scale: 1, Trials: 1,
+	}); err == nil {
+		t.Fatal("fluidanimate at 3 threads should be rejected")
+	}
+}
+
+func TestMechsFor(t *testing.T) {
+	if len(bench.MechsFor("eager")) != 7 {
+		t.Errorf("eager mechanisms = %d, want 7", len(bench.MechsFor("eager")))
+	}
+	for _, m := range bench.MechsFor("htm") {
+		if m == mech.RetryOrig {
+			t.Error("RetryOrig offered under HTM")
+		}
+	}
+	if len(bench.MechsFor("htm")) != 6 {
+		t.Errorf("htm mechanisms = %d, want 6", len(bench.MechsFor("htm")))
+	}
+}

@@ -1,0 +1,43 @@
+// The dangerous composition scenario of §2.2.1 (Algorithm 3): an outer
+// transaction that produces one element and atomically consumes two. With
+// Retry-style mechanisms the whole composition stays atomic — a Retry in a
+// nested Consume unrolls the outer transaction completely. With
+// transaction-safe condition variables the wait commits the outer
+// transaction mid-flight, exposing the temporary inprogress state and
+// losing the produce/consume pairing.
+package buffer
+
+import (
+	"tmsync/internal/mem"
+	"tmsync/internal/tm"
+)
+
+// Produce1Consume2Retry atomically produces x and consumes two elements,
+// composing the Retry-based Put and Get. inprogress is the temporary
+// shared flag of Algorithm 3: under Retry it is never observable as set.
+func (b *TMBuffer) Produce1Consume2Retry(thr *tm.Thread, inprogress *mem.Var, x uint64) (first, second uint64) {
+	thr.Atomic(func(tx *tm.Tx) {
+		inprogress.Set(tx, 1)
+		b.PutRetry(thr, x) // nested transaction, flattened into ours
+		first = b.GetRetry(thr)
+		second = b.GetRetry(thr)
+		inprogress.Set(tx, 0)
+	})
+	return first, second
+}
+
+// Produce1Consume2CondVar is the same composition over the TMCondVar
+// variant. When a nested Get must wait, the outer transaction commits at
+// the wait point: inprogress=1 becomes visible to other threads and the
+// produce is published before the second consume — the atomicity violation
+// the paper's mechanisms exist to prevent.
+func (b *TMBuffer) Produce1Consume2CondVar(thr *tm.Thread, inprogress *mem.Var, x uint64) (first, second uint64) {
+	thr.Atomic(func(tx *tm.Tx) {
+		inprogress.Set(tx, 1)
+		b.PutCondVar(thr, x)
+		first = b.GetCondVar(thr)
+		second = b.GetCondVar(thr)
+		inprogress.Set(tx, 0)
+	})
+	return first, second
+}

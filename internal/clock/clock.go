@@ -1,0 +1,31 @@
+// Package clock provides the global logical commit clock used by the STM
+// engines, in the style of TL2 and TinySTM: a monotonically increasing
+// counter incremented on each writer commit (and on aborts that must
+// republish lock versions).
+package clock
+
+import "sync/atomic"
+
+// Clock is a monotonically increasing logical timestamp source.
+// The zero value starts at time 0 and is ready to use.
+type Clock struct {
+	now atomic.Uint64
+}
+
+// Now returns the current logical time.
+func (c *Clock) Now() uint64 { return c.now.Load() }
+
+// Inc atomically advances the clock and returns the new value, which the
+// caller owns as its commit timestamp.
+func (c *Clock) Inc() uint64 { return c.now.Add(1) }
+
+// AtLeast advances the clock to at least t. It is used when recovering
+// orec versions that must not run ahead of the clock.
+func (c *Clock) AtLeast(t uint64) {
+	for {
+		cur := c.now.Load()
+		if cur >= t || c.now.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}

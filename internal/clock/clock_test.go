@@ -1,0 +1,71 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestZeroValue(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock reads %d", c.Now())
+	}
+}
+
+func TestIncReturnsNewValue(t *testing.T) {
+	var c Clock
+	for i := uint64(1); i <= 10; i++ {
+		if got := c.Inc(); got != i {
+			t.Fatalf("Inc #%d = %d", i, got)
+		}
+	}
+}
+
+func TestAtLeast(t *testing.T) {
+	var c Clock
+	c.AtLeast(100)
+	if c.Now() != 100 {
+		t.Fatalf("AtLeast(100): now=%d", c.Now())
+	}
+	c.AtLeast(50) // must not go backwards
+	if c.Now() != 100 {
+		t.Fatalf("AtLeast(50) moved clock backwards to %d", c.Now())
+	}
+}
+
+func TestConcurrentIncUniqueTimestamps(t *testing.T) {
+	var c Clock
+	const goroutines = 8
+	const per = 10000
+	results := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			out := make([]uint64, per)
+			for i := range out {
+				out[i] = c.Inc()
+			}
+			results[id] = out
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, goroutines*per)
+	for _, r := range results {
+		prev := uint64(0)
+		for _, v := range r {
+			if v <= prev {
+				t.Fatal("Inc not monotonic within a goroutine")
+			}
+			prev = v
+			if seen[v] {
+				t.Fatalf("timestamp %d issued twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if c.Now() != goroutines*per {
+		t.Fatalf("final clock %d, want %d", c.Now(), goroutines*per)
+	}
+}

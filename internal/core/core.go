@@ -1,0 +1,380 @@
+// Package core implements the paper's contribution: the Deschedule
+// abstract mechanism for condition synchronization among transactions
+// (Algorithm 4), the three language-level constructs built on it —
+// Retry (Algorithm 5), Await (Algorithm 6), and WaitPred (Algorithm 7) —
+// and, for comparison, the original metadata-based Retry of Harris et al.
+// (Algorithm 1, "Retry-Orig").
+//
+// The design follows §2.2: a thread wishing to delay itself rolls its
+// transaction back completely, publishes a predicate f and parameters p
+// into a registry of waiting threads, double-checks f(p) in a fresh
+// transaction, and sleeps on a private semaphore. After any writer
+// commits, wakeWaiters re-evaluates each sleeping waiter's predicate —
+// a read-only computation over shared memory, performed strictly after
+// commit — and signals threads whose preconditions now hold. Wakeup is
+// value-based, so silent stores never wake a waiter.
+package core
+
+import (
+	"sync/atomic"
+
+	"tmsync/internal/locktable"
+	"tmsync/internal/spin"
+	"tmsync/internal/tm"
+)
+
+// Pred is a wakeup predicate evaluated inside a (read-only) transaction.
+// It must not write shared memory and must not itself call Retry, Await,
+// WaitPred, or condition-variable waits.
+type Pred func(tx *tm.Tx, args []uint64) bool
+
+// Waiter is one published deschedule request. A fresh Waiter is created
+// per deschedule so that late wakeWaiters scans holding a stale snapshot
+// of the registry only ever observe immutable fields.
+type Waiter struct {
+	Thr     *tm.Thread
+	Pred    Pred
+	Args    []uint64
+	Waitset []tm.AddrVal
+
+	// asleep is true from publication until a waker (or the waiter
+	// itself, deciding not to sleep) claims the wakeup with a CAS;
+	// exactly one Signal is issued per sleep cycle.
+	asleep atomic.Bool
+}
+
+// origWaiter is a Retry-Orig registry entry (Algorithm 1): the sleeping
+// transaction's read-set metadata, to be intersected with committing
+// writers' lock sets.
+type origWaiter struct {
+	thr   *tm.Thread
+	orecs map[uint32]struct{}
+}
+
+// CondSync is the condition-synchronization runtime attached to one
+// tm.System.
+type CondSync struct {
+	sys *tm.System
+
+	mu      spin.Lock
+	waiters []*Waiter
+
+	// The original Retry mechanism uses a single global lock to make
+	// read-set validation atomic with insertion (Algorithm 1 uses the
+	// same simplification).
+	origMu      spin.Lock
+	origWaiters []*origWaiter
+}
+
+// Enable attaches a condition-synchronization runtime to sys and installs
+// the post-commit wakeWaiters hook. It must be called once, before any
+// transactions run.
+func Enable(sys *tm.System) *CondSync {
+	cs := &CondSync{sys: sys}
+	sys.Ext = cs
+	sys.PostCommit = cs.postCommit
+	return cs
+}
+
+// For returns the runtime attached to the transaction's system.
+func For(tx *tm.Tx) *CondSync {
+	cs, ok := tx.Sys.Ext.(*CondSync)
+	if !ok {
+		panic("core: condition synchronization not enabled on this system (call core.Enable)")
+	}
+	return cs
+}
+
+func (cs *CondSync) insert(w *Waiter) {
+	cs.mu.Lock()
+	cs.waiters = append(cs.waiters, w)
+	cs.mu.Unlock()
+}
+
+func (cs *CondSync) remove(w *Waiter) {
+	cs.mu.Lock()
+	for i, x := range cs.waiters {
+		if x == w {
+			cs.waiters[i] = cs.waiters[len(cs.waiters)-1]
+			cs.waiters = cs.waiters[:len(cs.waiters)-1]
+			break
+		}
+	}
+	cs.mu.Unlock()
+}
+
+// snapshot makes the shallow copy of the waiting list that wakeWaiters
+// iterates (Algorithm 4, wakeWaiters line 1), avoiding contention with
+// concurrent inserts while predicates are evaluated.
+func (cs *CondSync) snapshot() []*Waiter {
+	cs.mu.Lock()
+	if len(cs.waiters) == 0 {
+		cs.mu.Unlock()
+		return nil
+	}
+	out := make([]*Waiter, len(cs.waiters))
+	copy(out, cs.waiters)
+	cs.mu.Unlock()
+	return out
+}
+
+// WaitingLen reports the current number of published waiters (tests).
+func (cs *CondSync) WaitingLen() int {
+	cs.mu.Lock()
+	n := len(cs.waiters)
+	cs.mu.Unlock()
+	return n
+}
+
+// postCommit is installed as the system's PostCommit hook; it runs on the
+// committing thread strictly after the writer's effects are visible.
+func (cs *CondSync) postCommit(t *tm.Thread) {
+	cs.wakeWaiters(t)
+	cs.origWake(t)
+}
+
+// wakeWaiters implements the bottom half of Algorithm 4: for each entry in
+// a snapshot of the waiting list, evaluate its predicate in a fresh
+// (read-only, hardware-friendly) transaction; if the waiter should wake,
+// claim it with a CAS and signal its semaphore outside the transaction
+// (deferred semaphore operations, line 9).
+func (cs *CondSync) wakeWaiters(t *tm.Thread) {
+	for _, w := range cs.snapshot() {
+		if !w.asleep.Load() {
+			continue
+		}
+		should := false
+		t.Atomic(func(tx *tm.Tx) {
+			should = w.asleep.Load() && w.Pred(tx, w.Args)
+		})
+		if should && w.asleep.CompareAndSwap(true, false) {
+			w.Thr.Sem.Signal()
+		}
+	}
+}
+
+// origWake implements Algorithm 1's TxCommit lines 10–15: intersect the
+// just-committed writer's lock set with each sleeping transaction's read
+// metadata and wake on overlap.
+func (cs *CondSync) origWake(t *tm.Thread) {
+	if len(t.LastWriteOrecs) == 0 {
+		return
+	}
+	cs.origMu.Lock()
+	if len(cs.origWaiters) == 0 {
+		cs.origMu.Unlock()
+		return
+	}
+	for i := 0; i < len(cs.origWaiters); {
+		ow := cs.origWaiters[i]
+		hit := false
+		for _, idx := range t.LastWriteOrecs {
+			if _, ok := ow.orecs[idx]; ok {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			cs.origWaiters[i] = cs.origWaiters[len(cs.origWaiters)-1]
+			cs.origWaiters = cs.origWaiters[:len(cs.origWaiters)-1]
+			ow.thr.Sem.Signal()
+		} else {
+			i++
+		}
+	}
+	cs.origMu.Unlock()
+}
+
+// deschedSignal unwinds a transaction that must be descheduled. By the
+// time Handle runs the driver has rolled the attempt back and reset the
+// descriptor, so memory is indistinguishable from the transaction never
+// having run; what remains is the publish / double-check / sleep protocol
+// of Algorithm 4. The attempt's allocations travel in the signal
+// (captured-memory rule: the waitset may name them, so their undo is
+// deferred until after wakeup).
+type deschedSignal struct {
+	cs       *CondSync
+	w        *Waiter
+	deferred [][]uint64 // allocations to undo after wakeup
+}
+
+func (s deschedSignal) Handle(tx *tm.Tx) tm.Outcome {
+	cs, w := s.cs, s.w
+	cs.sys.Stats.Deschedules.Add(1)
+	deferred := s.deferred
+
+	w.asleep.Store(true)
+	cs.insert(w)
+
+	// Double-check the precondition in a fresh outermost transaction. The
+	// waiter is already published, so a writer that commits after this
+	// evaluation is guaranteed to observe it — no lost wakeups.
+	hold := false
+	tx.Thr.Atomic(func(chk *tm.Tx) {
+		hold = w.Pred(chk, w.Args)
+	})
+
+	if hold {
+		cs.remove(w)
+		if !w.asleep.CompareAndSwap(true, false) {
+			// A racing writer claimed the wakeup; its token may already
+			// be buffered. Discarding it here is best-effort — a token
+			// that lands later merely causes one harmless spurious
+			// wakeup on the next sleep (§2.2, accidental wakeups).
+			tx.Thr.Sem.TryDrain()
+		}
+	} else {
+		tx.Thr.Sem.Wait()
+		cs.sys.Stats.Wakeups.Add(1)
+		cs.remove(w)
+	}
+
+	// On wakeup, finally undo the deferred allocations and restart the
+	// parent transaction from its checkpoint with fresh scheduling state.
+	cs.sys.FreeBlocks(deferred)
+	tx.Attempts = 0
+	tx.WantSoftware = false
+	tx.IsRetry = false
+	return tm.OutcomeRetryNow
+}
+
+// findChanges is Algorithm 5's wakeup predicate: the waiter should resume
+// iff some address in its waitset no longer holds the value the failed
+// attempt observed. Reads go through the transaction so the evaluation is
+// consistent (and, under HTM, subject to ordinary conflict detection).
+func findChanges(w *Waiter) Pred {
+	return func(tx *tm.Tx, _ []uint64) bool {
+		for _, av := range w.Waitset {
+			if tx.Read(av.Addr) != av.Val {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Retry implements Algorithm 5. A first call inside an uninstrumented
+// attempt restarts the transaction in a mode that logs an address/value
+// pair on every read (hardware transactions additionally switch to the
+// serial software mode, since HTM lacks escape actions); the re-executed
+// attempt reaches Retry with a populated waitset and deschedules on
+// findChanges.
+func Retry(tx *tm.Tx) {
+	cs := For(tx)
+	if tx.Mode == tm.ModeHW {
+		// Ensure software mode (Algorithm 5 line 1); the switch doubles as
+		// backoff: the software re-execution may discover its precondition
+		// was established concurrently and never reach Retry again.
+		tx.WantSoftware = true
+		tx.RestartTagged()
+	}
+	if !tx.IsRetry {
+		tx.RestartTagged()
+	}
+	tx.IsRetry = false
+	w := &Waiter{
+		Thr:     tx.Thr,
+		Waitset: append([]tm.AddrVal(nil), tx.Waitset...),
+	}
+	w.Pred = findChanges(w)
+	panic(deschedSignal{cs: cs, w: w, deferred: tx.TakeMallocs()})
+}
+
+// Await implements Algorithm 6: wait until any of the given addresses —
+// which the transaction must already have read — changes value. The
+// engine's AwaitSnapshot undoes speculative writes (holding locks where
+// read-for-write demands it) and logs the committed values; hardware
+// transactions first restart in software mode.
+func Await(tx *tm.Tx, addrs ...*uint64) {
+	cs := For(tx)
+	if tx.Mode == tm.ModeHW {
+		tx.RestartSoftware()
+	}
+	tx.ResetWaitset()
+	tx.Sys.Engine.AwaitSnapshot(tx, addrs)
+	w := &Waiter{
+		Thr:     tx.Thr,
+		Waitset: append([]tm.AddrVal(nil), tx.Waitset...),
+	}
+	w.Pred = findChanges(w)
+	panic(deschedSignal{cs: cs, w: w, deferred: tx.TakeMallocs()})
+}
+
+// WaitPred implements Algorithm 7: deschedule until the user-supplied
+// predicate holds. The arguments are marshalled into the waiter (they
+// cannot live in transactional memory, whose writes are about to be
+// undone). By default a hardware transaction re-executes in software mode
+// first; with Config.HTMWaitPredFastPath the simulator models the 8-bit
+// abort-code trick of §2.2.6 and deschedules directly from the hardware
+// abort.
+func WaitPred(tx *tm.Tx, pred Pred, args ...uint64) {
+	cs := For(tx)
+	if tx.Mode == tm.ModeHW && !fastPathEnabled(tx) {
+		tx.RestartSoftware()
+	}
+	w := &Waiter{
+		Thr:  tx.Thr,
+		Pred: pred,
+		Args: append([]uint64(nil), args...),
+	}
+	panic(deschedSignal{cs: cs, w: w, deferred: tx.TakeMallocs()})
+}
+
+func fastPathEnabled(tx *tm.Tx) bool {
+	return tx.Sys.Cfg.HTMWaitPredFastPath
+}
+
+// origSignal implements the sleep half of Algorithm 1, carrying the read
+// metadata captured when Retry was called (the descriptor is reset before
+// Handle runs).
+type origSignal struct {
+	cs    *CondSync
+	start uint64
+	orecs map[uint32]struct{}
+}
+
+// RetryOrig implements the original Retry mechanism (Algorithm 1), the
+// good-faith adaptation of Harris et al.'s STM retry: publish the
+// transaction's read-set *metadata* (orec slots) atomically with
+// validation, and rely on every committing writer intersecting its lock
+// set against all sleepers. It requires STM metadata and therefore
+// supports neither hardware nor serial HTM modes.
+func RetryOrig(tx *tm.Tx) {
+	cs := For(tx)
+	if tx.Mode != tm.ModeSTM {
+		panic("core: RetryOrig requires an STM engine (no HTM support, §2.1)")
+	}
+	orecs := make(map[uint32]struct{}, len(tx.Reads))
+	for i := range tx.Reads {
+		orecs[tx.Reads[i].Orec] = struct{}{}
+	}
+	panic(origSignal{cs: cs, start: tx.Start, orecs: orecs})
+}
+
+func (s origSignal) Handle(tx *tm.Tx) tm.Outcome {
+	cs := s.cs
+	cs.sys.Stats.Deschedules.Add(1)
+	// Atomically with validation, add the calling transaction to the
+	// waiting list (Algorithm 1, Retry lines 3–8). The driver has already
+	// undone writes and released locks "as if the transaction never ran",
+	// so a valid read is one whose orec is unlocked at a version no newer
+	// than the transaction's start.
+	cs.origMu.Lock()
+	for idx := range s.orecs {
+		w := cs.sys.Table.Get(idx)
+		if locktable.Locked(w) || locktable.Version(w) > s.start {
+			// A concurrent modification means re-execution may already be
+			// profitable; restart instead of risking a missed wakeup.
+			cs.origMu.Unlock()
+			return tm.OutcomeRetryNow
+		}
+	}
+	ow := &origWaiter{thr: tx.Thr, orecs: s.orecs}
+	cs.origWaiters = append(cs.origWaiters, ow)
+	cs.origMu.Unlock()
+
+	tx.Thr.Sem.Wait()
+	cs.sys.Stats.Wakeups.Add(1)
+	tx.Attempts = 0
+	return tm.OutcomeRetryNow
+}

@@ -1,0 +1,7 @@
+package htm
+
+import "runtime"
+
+// yield parks the goroutine briefly while waiting for a serial section to
+// drain or begin.
+func yield() { runtime.Gosched() }

@@ -1,0 +1,7 @@
+package hybrid
+
+import "runtime"
+
+// yield parks the goroutine briefly while waiting out a serial
+// (irrevocable) section.
+func yield() { runtime.Gosched() }

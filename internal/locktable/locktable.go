@@ -1,0 +1,117 @@
+// Package locktable implements the table of ownership records (orecs) that
+// maps shared-memory words to versioned locks, as in TinySTM, TL2, and the
+// software TM of Appendix A. A single 64-bit word encodes either
+// {unlocked, version} or {locked, owner, version}, so that all fields of a
+// Lock object can be read atomically and modified with compare-and-swap.
+package locktable
+
+import (
+	"fmt"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Orec field layout. Bit 0 is the locked flag. When locked, bits 1..15
+// carry the owner thread id (1-based) and bits 16..63 keep the version the
+// word had when it was acquired, so release-for-abort can restore it.
+// When unlocked, bits 16..63 carry the version and the owner field is zero.
+const (
+	lockedBit    = uint64(1)
+	ownerShift   = 1
+	ownerBits    = 15
+	ownerMask    = (uint64(1)<<ownerBits - 1) << ownerShift
+	versionShift = 16
+	// MaxOwner is the largest encodable owner id.
+	MaxOwner = uint64(1)<<ownerBits - 1
+	// MaxVersion is the largest encodable version.
+	MaxVersion = uint64(1)<<(64-versionShift) - 1
+)
+
+// Orec is the decoded form of an ownership record.
+type Orec struct {
+	Locked  bool
+	Owner   uint64 // thread id, valid only when Locked
+	Version uint64 // time of last unlock (kept while locked, for abort)
+}
+
+// Encode packs an Orec into its 64-bit word form.
+func Encode(o Orec) uint64 {
+	w := o.Version << versionShift
+	if o.Locked {
+		w |= lockedBit | (o.Owner << ownerShift & ownerMask)
+	}
+	return w
+}
+
+// Decode unpacks a 64-bit orec word.
+func Decode(w uint64) Orec {
+	o := Orec{Version: w >> versionShift}
+	if w&lockedBit != 0 {
+		o.Locked = true
+		o.Owner = (w & ownerMask) >> ownerShift
+	}
+	return o
+}
+
+// Locked reports whether the encoded word is locked.
+func Locked(w uint64) bool { return w&lockedBit != 0 }
+
+// Owner returns the owner id of an encoded, locked word.
+func Owner(w uint64) uint64 { return (w & ownerMask) >> ownerShift }
+
+// Version returns the version of an encoded word.
+func Version(w uint64) uint64 { return w >> versionShift }
+
+// LockedBy builds the word for a lock held by owner with the given
+// pre-acquisition version.
+func LockedBy(owner, version uint64) uint64 {
+	return version<<versionShift | owner<<ownerShift&ownerMask | lockedBit
+}
+
+// UnlockedAt builds the word for an unlocked orec with the given version.
+func UnlockedAt(version uint64) uint64 { return version << versionShift }
+
+// Table is a fixed-size, power-of-two array of orecs. Distinct addresses
+// may hash to the same orec (false conflicts), exactly as in word-based STM.
+type Table struct {
+	mask  uintptr
+	orecs []atomic.Uint64
+}
+
+// DefaultSize is the default number of orecs (1<<16, 512 KiB).
+const DefaultSize = 1 << 16
+
+// New returns a table with size orecs; size must be a power of two.
+func New(size int) *Table {
+	if size <= 0 || size&(size-1) != 0 {
+		panic(fmt.Sprintf("locktable: size %d is not a positive power of two", size))
+	}
+	return &Table{mask: uintptr(size - 1), orecs: make([]atomic.Uint64, size)}
+}
+
+// Len returns the number of orecs in the table.
+func (t *Table) Len() int { return len(t.orecs) }
+
+// IndexOf returns the table slot covering addr. Word-aligned addresses are
+// mixed with a Fibonacci multiplier so that adjacent words land on
+// different orecs.
+func (t *Table) IndexOf(addr *uint64) uint32 {
+	p := uintptr(unsafe.Pointer(addr)) >> 3
+	p *= 0x9e3779b97f4a7c15 & ^uintptr(0)
+	return uint32((p >> 16) & t.mask)
+}
+
+// Get returns the orec word for slot idx.
+func (t *Table) Get(idx uint32) uint64 { return t.orecs[idx].Load() }
+
+// CAS attempts to transition slot idx from old to new.
+func (t *Table) CAS(idx uint32, old, new uint64) bool {
+	return t.orecs[idx].CompareAndSwap(old, new)
+}
+
+// Set unconditionally stores word w into slot idx. Only the lock owner may
+// do this (release paths).
+func (t *Table) Set(idx uint32, w uint64) { t.orecs[idx].Store(w) }
+
+// ForAddr returns the orec word covering addr.
+func (t *Table) ForAddr(addr *uint64) uint64 { return t.Get(t.IndexOf(addr)) }

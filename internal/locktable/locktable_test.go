@@ -1,0 +1,168 @@
+package locktable
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Orec{
+		{},
+		{Locked: true, Owner: 1, Version: 0},
+		{Locked: true, Owner: MaxOwner, Version: 12345},
+		{Locked: false, Version: MaxVersion},
+		{Locked: true, Owner: 7, Version: MaxVersion},
+	}
+	for _, c := range cases {
+		got := Decode(Encode(c))
+		want := c
+		if !want.Locked {
+			want.Owner = 0
+		}
+		if got != want {
+			t.Errorf("Decode(Encode(%+v)) = %+v", c, got)
+		}
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(locked bool, owner, version uint64) bool {
+		o := Orec{Locked: locked, Owner: owner % (MaxOwner + 1), Version: version % (MaxVersion + 1)}
+		d := Decode(Encode(o))
+		if !o.Locked {
+			o.Owner = 0
+		}
+		return d == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFieldAccessorsAgreeWithDecode(t *testing.T) {
+	f := func(locked bool, owner, version uint64) bool {
+		o := Orec{Locked: locked, Owner: owner % (MaxOwner + 1), Version: version % (MaxVersion + 1)}
+		w := Encode(o)
+		if Locked(w) != o.Locked {
+			return false
+		}
+		if Version(w) != o.Version {
+			return false
+		}
+		if o.Locked && Owner(w) != o.Owner {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockedByUnlockedAt(t *testing.T) {
+	w := LockedBy(5, 99)
+	if !Locked(w) || Owner(w) != 5 || Version(w) != 99 {
+		t.Fatalf("LockedBy(5,99) decodes to %+v", Decode(w))
+	}
+	u := UnlockedAt(100)
+	if Locked(u) || Version(u) != 100 {
+		t.Fatalf("UnlockedAt(100) decodes to %+v", Decode(u))
+	}
+}
+
+func TestNewRejectsBadSizes(t *testing.T) {
+	for _, size := range []int{0, -1, 3, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", size)
+				}
+			}()
+			New(size)
+		}()
+	}
+}
+
+func TestIndexOfInRangeAndStable(t *testing.T) {
+	tbl := New(1 << 10)
+	words := make([]uint64, 4096)
+	seen := make(map[uint32]bool)
+	for i := range words {
+		idx := tbl.IndexOf(&words[i])
+		if int(idx) >= tbl.Len() {
+			t.Fatalf("index %d out of range %d", idx, tbl.Len())
+		}
+		if tbl.IndexOf(&words[i]) != idx {
+			t.Fatal("IndexOf not stable for the same address")
+		}
+		seen[idx] = true
+	}
+	// With 4096 addresses over 1024 slots we should hit a large fraction of
+	// the table; a pathological hash would collapse to a few slots.
+	if len(seen) < tbl.Len()/2 {
+		t.Fatalf("hash collapses: only %d/%d slots used", len(seen), tbl.Len())
+	}
+}
+
+func TestAdjacentWordsSpread(t *testing.T) {
+	tbl := New(1 << 12)
+	var arr [64]uint64
+	collisions := 0
+	for i := 0; i < len(arr)-1; i++ {
+		if tbl.IndexOf(&arr[i]) == tbl.IndexOf(&arr[i+1]) {
+			collisions++
+		}
+	}
+	if collisions > 4 {
+		t.Fatalf("adjacent words collide too often: %d/63", collisions)
+	}
+}
+
+func TestCASAndSet(t *testing.T) {
+	tbl := New(8)
+	idx := uint32(3)
+	if !tbl.CAS(idx, 0, LockedBy(1, 0)) {
+		t.Fatal("CAS from zero failed")
+	}
+	if tbl.CAS(idx, 0, LockedBy(2, 0)) {
+		t.Fatal("CAS from stale value succeeded")
+	}
+	tbl.Set(idx, UnlockedAt(42))
+	if Version(tbl.Get(idx)) != 42 || Locked(tbl.Get(idx)) {
+		t.Fatalf("Set did not store: %+v", Decode(tbl.Get(idx)))
+	}
+}
+
+func TestConcurrentCASExclusive(t *testing.T) {
+	tbl := New(2)
+	const goroutines = 16
+	const rounds = 1000
+	var wins [goroutines]int
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				w := tbl.Get(0)
+				if Locked(w) {
+					continue
+				}
+				if tbl.CAS(0, w, LockedBy(uint64(id+1), Version(w))) {
+					wins[id]++
+					// release with a bumped version
+					tbl.Set(0, UnlockedAt(Version(w)+1))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, w := range wins {
+		total += w
+	}
+	if uint64(total) != Version(tbl.Get(0)) {
+		t.Fatalf("lock acquisitions (%d) != final version (%d): lost or duplicated a CAS", total, Version(tbl.Get(0)))
+	}
+}

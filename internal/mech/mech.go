@@ -1,0 +1,48 @@
+// Package mech names the seven condition-synchronization mechanisms the
+// evaluation compares, shared by the bounded-buffer and PARSEC-skeleton
+// workloads and by the benchmark harness.
+package mech
+
+// Mechanism names one condition-synchronization technique.
+type Mechanism string
+
+const (
+	// Pthreads is the lock + condition-variable baseline (no TM).
+	Pthreads Mechanism = "pthreads"
+	// TMCondVar is transactions + transaction-safe condition variables.
+	TMCondVar Mechanism = "tmcondvar"
+	// WaitPred is Deschedule with an explicit user predicate (Alg. 7).
+	WaitPred Mechanism = "waitpred"
+	// Await is Deschedule on a static address list (Alg. 6).
+	Await Mechanism = "await"
+	// Retry is Deschedule on the dynamic read set (Alg. 5).
+	Retry Mechanism = "retry"
+	// RetryOrig is the original metadata-based retry (Alg. 1; STM only).
+	RetryOrig Mechanism = "retry-orig"
+	// Restart aborts and immediately re-attempts (no sleeping).
+	Restart Mechanism = "restart"
+)
+
+// All lists every mechanism in the order the paper's legends use.
+var All = []Mechanism{Pthreads, TMCondVar, WaitPred, Await, Retry, RetryOrig, Restart}
+
+// TM lists the transactional mechanisms (everything but Pthreads).
+var TM = []Mechanism{TMCondVar, WaitPred, Await, Retry, RetryOrig, Restart}
+
+// ForEngine returns the mechanisms applicable to an engine: Retry-Orig is
+// STM-only (the paper's HTM figures omit it; hardware modes expose no
+// metadata), and Pthreads applies to all configurations as the
+// non-transactional baseline.
+func ForEngine(engine string) []Mechanism {
+	out := make([]Mechanism, 0, len(All))
+	for _, m := range All {
+		if m == RetryOrig && (engine == "htm" || engine == "hybrid") {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// Transactional reports whether the mechanism runs inside transactions.
+func (m Mechanism) Transactional() bool { return m != Pthreads }

@@ -1,0 +1,52 @@
+package mech_test
+
+import (
+	"testing"
+
+	"tmsync/internal/mech"
+)
+
+func TestAllContainsSeven(t *testing.T) {
+	if len(mech.All) != 7 {
+		t.Fatalf("All has %d mechanisms, want 7", len(mech.All))
+	}
+	if mech.All[0] != mech.Pthreads {
+		t.Fatal("Pthreads must lead the legend order")
+	}
+}
+
+func TestTMExcludesPthreads(t *testing.T) {
+	if len(mech.TM) != 6 {
+		t.Fatalf("TM has %d mechanisms", len(mech.TM))
+	}
+	for _, m := range mech.TM {
+		if m == mech.Pthreads {
+			t.Fatal("TM includes Pthreads")
+		}
+	}
+}
+
+func TestForEngine(t *testing.T) {
+	for engine, want := range map[string]int{"eager": 7, "lazy": 7, "htm": 6, "hybrid": 6} {
+		got := mech.ForEngine(engine)
+		if len(got) != want {
+			t.Errorf("ForEngine(%s) = %d mechanisms, want %d", engine, len(got), want)
+		}
+		for _, m := range got {
+			if m == mech.RetryOrig && (engine == "htm" || engine == "hybrid") {
+				t.Errorf("ForEngine(%s) offers RetryOrig", engine)
+			}
+		}
+	}
+}
+
+func TestTransactional(t *testing.T) {
+	if mech.Pthreads.Transactional() {
+		t.Error("Pthreads is not transactional")
+	}
+	for _, m := range mech.TM {
+		if !m.Transactional() {
+			t.Errorf("%s should be transactional", m)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Package mem provides convenience types for word-addressed transactional
+// memory: named shared variables and word arrays whose addresses can be
+// passed to the STM/HTM engines and to Await.
+package mem
+
+import (
+	"sync/atomic"
+
+	"tmsync/internal/tm"
+)
+
+// Var is one shared 64-bit word.
+type Var struct {
+	w uint64
+}
+
+// Addr returns the word's address for use with tx.Read/tx.Write and Await.
+func (v *Var) Addr() *uint64 { return &v.w }
+
+// Get reads the variable transactionally.
+func (v *Var) Get(tx *tm.Tx) uint64 { return tx.Read(&v.w) }
+
+// Set writes the variable transactionally.
+func (v *Var) Set(tx *tm.Tx, val uint64) { tx.Write(&v.w, val) }
+
+// Add adds delta (two's-complement) to the variable transactionally and
+// returns the new value.
+func (v *Var) Add(tx *tm.Tx, delta uint64) uint64 {
+	n := tx.Read(&v.w) + delta
+	tx.Write(&v.w, n)
+	return n
+}
+
+// Load reads the variable non-transactionally (setup/teardown only).
+func (v *Var) Load() uint64 { return atomic.LoadUint64(&v.w) }
+
+// Store writes the variable non-transactionally (setup/teardown only; the
+// caller must guarantee no transactions are in flight).
+func (v *Var) Store(val uint64) { atomic.StoreUint64(&v.w, val) }
+
+// Array is a fixed-size vector of shared words.
+type Array struct {
+	ws []uint64
+}
+
+// NewArray returns an Array of n words, all zero.
+func NewArray(n int) *Array { return &Array{ws: make([]uint64, n)} }
+
+// Len returns the number of words.
+func (a *Array) Len() int { return len(a.ws) }
+
+// Addr returns the address of word i.
+func (a *Array) Addr(i int) *uint64 { return &a.ws[i] }
+
+// Get reads word i transactionally.
+func (a *Array) Get(tx *tm.Tx, i int) uint64 { return tx.Read(&a.ws[i]) }
+
+// Set writes word i transactionally.
+func (a *Array) Set(tx *tm.Tx, i int, val uint64) { tx.Write(&a.ws[i], val) }
+
+// Load reads word i non-transactionally (setup/teardown only).
+func (a *Array) Load(i int) uint64 { return atomic.LoadUint64(&a.ws[i]) }
+
+// Store writes word i non-transactionally (setup/teardown only).
+func (a *Array) Store(i int, val uint64) { atomic.StoreUint64(&a.ws[i], val) }

@@ -1,0 +1,78 @@
+package parsecsim
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// workUnit is the deterministic arithmetic kernel standing in for the
+// PARSEC computation: a xorshift mixing loop whose result feeds the
+// run's checksum so it cannot be optimized away.
+func workUnit(units int, seed uint64) uint64 {
+	x := seed*2654435761 + 1
+	for i := 0; i < units*32; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x
+}
+
+// poison marks end-of-stream in pipeline queues. Real payloads are
+// sequence numbers well below it.
+const poison = ^uint64(0)
+
+// Benchmark describes one PARSEC-skeleton workload.
+type Benchmark struct {
+	// Name matches the PARSEC benchmark the skeleton models.
+	Name string
+	// SyncPoints is the number of distinct condition-synchronization call
+	// sites, matching the parenthesized counts of Table 2.1.
+	SyncPoints int
+	// ValidThreads reports whether the benchmark runs at n threads
+	// ("some benchmarks only execute for thread counts that are even or
+	// powers of two", §2.4.2).
+	ValidThreads func(n int) bool
+	// Run executes the workload with n worker threads at the given scale
+	// and returns a checksum that must be identical across mechanisms,
+	// engines, and thread counts.
+	Run func(k *Kit, threads, scale int) uint64
+}
+
+func anyThreads(int) bool { return true }
+
+func pow2Threads(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func evenThreads(n int) bool { return n == 1 || n%2 == 0 }
+
+// Benchmarks lists the eight PARSEC workloads that use condition
+// synchronization, in Table 2.1 order.
+var Benchmarks = []Benchmark{
+	{Name: "bodytrack", SyncPoints: 5, ValidThreads: anyThreads, Run: runBodytrack},
+	{Name: "dedup", SyncPoints: 3, ValidThreads: anyThreads, Run: runDedup},
+	{Name: "facesim", SyncPoints: 7, ValidThreads: anyThreads, Run: runFacesim},
+	{Name: "ferret", SyncPoints: 2, ValidThreads: anyThreads, Run: runFerret},
+	{Name: "fluidanimate", SyncPoints: 4, ValidThreads: pow2Threads, Run: runFluidanimate},
+	{Name: "raytrace", SyncPoints: 3, ValidThreads: anyThreads, Run: runRaytrace},
+	{Name: "streamcluster", SyncPoints: 5, ValidThreads: evenThreads, Run: runStreamcluster},
+	{Name: "x264", SyncPoints: 1, ValidThreads: anyThreads, Run: runX264},
+}
+
+// ByName looks a benchmark up.
+func ByName(name string) (*Benchmark, error) {
+	for i := range Benchmarks {
+		if Benchmarks[i].Name == name {
+			return &Benchmarks[i], nil
+		}
+	}
+	return nil, fmt.Errorf("parsecsim: unknown benchmark %q", name)
+}
+
+// checksum accumulates per-worker results without touching transactional
+// state (the checksum is measurement plumbing, not workload state).
+type checksum struct {
+	v atomic.Uint64
+}
+
+func (c *checksum) add(x uint64)  { c.v.Add(x) }
+func (c *checksum) value() uint64 { return c.v.Load() }

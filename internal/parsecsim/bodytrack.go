@@ -1,0 +1,61 @@
+package parsecsim
+
+import "sync"
+
+// runBodytrack models PARSEC bodytrack's thread-pool structure: for each
+// frame the main thread enqueues particle-evaluation tasks into a bounded
+// queue, workers drain it, and the frame boundary is enforced by a
+// completion counter, a frame gate, and a worker barrier — five distinct
+// condition-synchronization points (Table 2.1 lists 5).
+func runBodytrack(k *Kit, threads, scale int) uint64 {
+	const tasksPerFrame = 48
+	frames := 2 * scale
+
+	q := k.NewQueue(16)
+	done := k.NewCounter()
+	frameGate := k.NewCounter()
+	bar := k.NewBarrier(threads)
+	var cs checksum
+	var wg sync.WaitGroup
+
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			thr := k.NewThread()
+			var sense uint64
+			var local uint64
+			for f := 0; f < frames; f++ {
+				for {
+					v := q.Get(thr) // syncpoint(bodytrack): pool task dequeue
+					if v == poison {
+						break
+					}
+					local += workUnit(4, v)
+					done.Add(thr, 1)
+				}
+				// syncpoint(bodytrack): wait for the frame gate
+				frameGate.WaitAtLeast(thr, uint64(f+1))
+				// syncpoint(bodytrack): inter-frame worker barrier
+				bar.Arrive(thr, &sense)
+			}
+			cs.add(local)
+		}()
+	}
+
+	main := k.NewThread()
+	for f := 0; f < frames; f++ {
+		for t := 0; t < tasksPerFrame; t++ {
+			// syncpoint(bodytrack): bounded task enqueue
+			q.Put(main, uint64(f*tasksPerFrame+t)+1)
+		}
+		for w := 0; w < threads; w++ {
+			q.Put(main, poison)
+		}
+		// syncpoint(bodytrack): wait for all frame tasks to complete
+		done.WaitAtLeast(main, uint64((f+1)*tasksPerFrame))
+		frameGate.Set(main, uint64(f+1))
+	}
+	wg.Wait()
+	return cs.value()
+}

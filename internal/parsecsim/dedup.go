@@ -1,0 +1,87 @@
+package parsecsim
+
+import (
+	"sync"
+
+	"tmsync/internal/mech"
+	"tmsync/internal/tm"
+)
+
+// runDedup models PARSEC dedup's three-stage pipeline: a chunker feeds a
+// bounded queue, compressor threads transform chunks into a second queue,
+// and a writer drains it while performing "I/O". The producer throttles
+// against the writer with a window counter. Three condition-
+// synchronization points (Table 2.1 lists 3).
+//
+// The paper observes that dedup performs I/O inside critical sections, so
+// the TM runtime forbids concurrency during those transactions (§2.4.2);
+// we model this with genuinely irrevocable transactions (tx.Irrevocable),
+// which suspend all other transactions for the duration of the "I/O" and
+// reproduce dedup's pathological TM slowdown.
+func runDedup(k *Kit, threads, scale int) uint64 {
+	chunks := 192 * scale
+	const window = 64
+	compressors := threads
+
+	q1 := k.NewQueue(32)
+	q2 := k.NewQueue(32)
+	written := k.NewCounter()
+	var cs checksum
+	var wg sync.WaitGroup
+
+	// Stage 2: compressors.
+	for wkr := 0; wkr < compressors; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			thr := k.NewThread()
+			for {
+				v := q1.Get(thr) // syncpoint(dedup): chunk dequeue
+				if v == poison {
+					break
+				}
+				q2.Put(thr, workUnit(6, v)%(poison>>1)+1)
+			}
+		}()
+	}
+
+	// Stage 3: writer with irrevocable "I/O" sections.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		thr := k.NewThread()
+		var local uint64
+		for n := 0; n < chunks; n++ {
+			v := q2.Get(thr) // syncpoint(dedup): compressed-chunk dequeue
+			if k.Mech == mech.Pthreads {
+				local += workUnit(2, v)
+			} else {
+				// I/O inside a critical section: the transaction turns
+				// irrevocable, suspending all concurrency (§2.4.2). The
+				// side effect runs exactly once, in the irrevocable
+				// re-execution.
+				thr.Atomic(func(tx *tm.Tx) {
+					tx.Irrevocable()
+					local += workUnit(2, v)
+				})
+			}
+			written.Add(thr, 1)
+		}
+		cs.add(local)
+	}()
+
+	// Stage 1: chunker, throttled against the writer.
+	main := k.NewThread()
+	for n := 0; n < chunks; n++ {
+		if n >= window {
+			// syncpoint(dedup): producer window throttle
+			written.WaitAtLeast(main, uint64(n-window+1))
+		}
+		q1.Put(main, uint64(n)+1)
+	}
+	for wkr := 0; wkr < compressors; wkr++ {
+		q1.Put(main, poison)
+	}
+	wg.Wait()
+	return cs.value()
+}

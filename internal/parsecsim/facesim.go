@@ -1,0 +1,72 @@
+package parsecsim
+
+import "sync"
+
+// runFacesim models PARSEC facesim's iterative fork-join solver: each
+// iteration runs three dependent phases; workers wait for each phase's
+// start gate and the main thread waits for each phase's completion
+// counter, plus a final join — seven condition-synchronization points
+// (Table 2.1 lists 7).
+func runFacesim(k *Kit, threads, scale int) uint64 {
+	iters := 6 * scale
+	const itemsPerPhase = 24
+
+	start := [3]*Counter{k.NewCounter(), k.NewCounter(), k.NewCounter()}
+	done := [3]*Counter{k.NewCounter(), k.NewCounter(), k.NewCounter()}
+	joined := k.NewCounter()
+	var cs checksum
+	var wg sync.WaitGroup
+
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			thr := k.NewThread()
+			var local uint64
+			for it := 0; it < iters; it++ {
+				// syncpoint(facesim): phase-0 start gate
+				start[0].WaitAtLeast(thr, uint64(it+1))
+				local += phaseWork(0, it, id, threads, itemsPerPhase)
+				done[0].Add(thr, 1)
+				// syncpoint(facesim): phase-1 start gate
+				start[1].WaitAtLeast(thr, uint64(it+1))
+				local += phaseWork(1, it, id, threads, itemsPerPhase)
+				done[1].Add(thr, 1)
+				// syncpoint(facesim): phase-2 start gate
+				start[2].WaitAtLeast(thr, uint64(it+1))
+				local += phaseWork(2, it, id, threads, itemsPerPhase)
+				done[2].Add(thr, 1)
+			}
+			cs.add(local)
+			joined.Add(thr, 1)
+		}(w)
+	}
+
+	main := k.NewThread()
+	for it := 0; it < iters; it++ {
+		start[0].Set(main, uint64(it+1))
+		// syncpoint(facesim): phase-0 completion wait
+		done[0].WaitAtLeast(main, uint64(threads*(it+1)))
+		start[1].Set(main, uint64(it+1))
+		// syncpoint(facesim): phase-1 completion wait
+		done[1].WaitAtLeast(main, uint64(threads*(it+1)))
+		start[2].Set(main, uint64(it+1))
+		// syncpoint(facesim): phase-2 completion wait
+		done[2].WaitAtLeast(main, uint64(threads*(it+1)))
+	}
+	// syncpoint(facesim): final join
+	joined.WaitAtLeast(main, uint64(threads))
+	wg.Wait()
+	return cs.value()
+}
+
+// phaseWork computes worker id's share of a phase's fixed item set; the
+// per-item seeds depend only on (phase, iter, item), so the sum over all
+// workers is thread-count independent.
+func phaseWork(phase, iter, id, threads, items int) uint64 {
+	var acc uint64
+	for i := id; i < items; i += threads {
+		acc += workUnit(3, uint64(phase)<<40|uint64(iter)<<20|uint64(i)+1)
+	}
+	return acc
+}

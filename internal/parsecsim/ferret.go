@@ -1,0 +1,56 @@
+package parsecsim
+
+import "sync"
+
+// runFerret models PARSEC ferret's similarity-search pipeline: a loader
+// feeds query segments through a bounded queue to ranking workers, whose
+// results flow through a second queue to a single output stage — two
+// condition-synchronization points (Table 2.1 lists 2).
+func runFerret(k *Kit, threads, scale int) uint64 {
+	queries := 256 * scale
+
+	q1 := k.NewQueue(24)
+	q2 := k.NewQueue(24)
+	var cs checksum
+	var wg sync.WaitGroup
+
+	// Middle stage: ranking workers.
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			thr := k.NewThread()
+			for {
+				v := q1.Get(thr) // syncpoint(ferret): query dequeue
+				if v == poison {
+					break
+				}
+				q2.Put(thr, workUnit(5, v)%(poison>>1)+1)
+			}
+		}()
+	}
+
+	// Output stage.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		thr := k.NewThread()
+		var local uint64
+		for n := 0; n < queries; n++ {
+			v := q2.Get(thr) // syncpoint(ferret): result dequeue
+			local += workUnit(1, v)
+		}
+		cs.add(local)
+	}()
+
+	// Load stage.
+	main := k.NewThread()
+	for n := 0; n < queries; n++ {
+		q1.Put(main, uint64(n)+1)
+	}
+	for w := 0; w < threads; w++ {
+		q1.Put(main, poison)
+	}
+	wg.Wait()
+	return cs.value()
+}

@@ -1,0 +1,39 @@
+package parsecsim
+
+import "sync"
+
+// runFluidanimate models PARSEC fluidanimate's barrier-phased particle
+// simulation: every timestep runs four compute phases separated by
+// reusable barriers — four condition-synchronization points (Table 2.1
+// lists 4). Like the original, it requires a power-of-two thread count.
+func runFluidanimate(k *Kit, threads, scale int) uint64 {
+	steps := 8 * scale
+	const itemsPerPhase = 32
+
+	bar := k.NewBarrier(threads)
+	var cs checksum
+	var wg sync.WaitGroup
+
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			thr := k.NewThread()
+			var sense uint64
+			var local uint64
+			for st := 0; st < steps; st++ {
+				local += phaseWork(10, st, id, threads, itemsPerPhase)
+				bar.Arrive(thr, &sense) // syncpoint(fluidanimate): density barrier
+				local += phaseWork(11, st, id, threads, itemsPerPhase)
+				bar.Arrive(thr, &sense) // syncpoint(fluidanimate): force barrier
+				local += phaseWork(12, st, id, threads, itemsPerPhase)
+				bar.Arrive(thr, &sense) // syncpoint(fluidanimate): advance barrier
+				local += phaseWork(13, st, id, threads, itemsPerPhase)
+				bar.Arrive(thr, &sense) // syncpoint(fluidanimate): rebin barrier
+			}
+			cs.add(local)
+		}(w)
+	}
+	wg.Wait()
+	return cs.value()
+}

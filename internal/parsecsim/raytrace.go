@@ -1,0 +1,52 @@
+package parsecsim
+
+import "sync"
+
+// runRaytrace models PARSEC raytrace's dynamic tile queue: workers wait
+// for the scene-ready flag, pull tiles from a shared bounded queue, and
+// the main thread waits for all tiles to finish — three condition-
+// synchronization points (Table 2.1 lists 3).
+func runRaytrace(k *Kit, threads, scale int) uint64 {
+	tiles := 160 * scale
+
+	q := k.NewQueue(16)
+	sceneReady := k.NewCounter()
+	finished := k.NewCounter()
+	var cs checksum
+	var wg sync.WaitGroup
+
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			thr := k.NewThread()
+			// syncpoint(raytrace): wait for the scene to be built
+			sceneReady.WaitAtLeast(thr, 1)
+			var local uint64
+			for {
+				v := q.Get(thr) // syncpoint(raytrace): tile dequeue
+				if v == poison {
+					break
+				}
+				local += workUnit(5, v)
+				finished.Add(thr, 1)
+			}
+			cs.add(local)
+		}()
+	}
+
+	main := k.NewThread()
+	// "Build the scene", then release the workers.
+	cs.add(workUnit(8, 12345))
+	sceneReady.Set(main, 1)
+	for n := 0; n < tiles; n++ {
+		q.Put(main, uint64(n)+1)
+	}
+	for w := 0; w < threads; w++ {
+		q.Put(main, poison)
+	}
+	// syncpoint(raytrace): wait for all tiles to be traced
+	finished.WaitAtLeast(main, uint64(tiles))
+	wg.Wait()
+	return cs.value()
+}

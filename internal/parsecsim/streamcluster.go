@@ -1,0 +1,45 @@
+package parsecsim
+
+import "sync"
+
+// runStreamcluster models PARSEC streamcluster's barrier-dominated
+// k-median loop: each round runs distance evaluation, a serial reduction
+// by thread 0, center assignment, a cost update, and a convergence check,
+// each separated by a reusable barrier — five condition-synchronization
+// points (Table 2.1 lists 5). Streamcluster is the most barrier-intensive
+// PARSEC benchmark, so condition-synchronization latency matters most
+// here. Thread counts must be 1 or even, as in the original's partitioning.
+func runStreamcluster(k *Kit, threads, scale int) uint64 {
+	rounds := 10 * scale
+	const itemsPerPhase = 16
+
+	bar := k.NewBarrier(threads)
+	var cs checksum
+	var wg sync.WaitGroup
+
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			thr := k.NewThread()
+			var sense uint64
+			var local uint64
+			for r := 0; r < rounds; r++ {
+				local += phaseWork(20, r, id, threads, itemsPerPhase)
+				bar.Arrive(thr, &sense) // syncpoint(streamcluster): distance barrier
+				if id == 0 {
+					local += workUnit(2, uint64(r)+7) // serial reduction
+				}
+				bar.Arrive(thr, &sense) // syncpoint(streamcluster): reduction barrier
+				local += phaseWork(21, r, id, threads, itemsPerPhase)
+				bar.Arrive(thr, &sense) // syncpoint(streamcluster): assignment barrier
+				local += phaseWork(22, r, id, threads, itemsPerPhase)
+				bar.Arrive(thr, &sense) // syncpoint(streamcluster): cost barrier
+				bar.Arrive(thr, &sense) // syncpoint(streamcluster): convergence barrier
+			}
+			cs.add(local)
+		}(w)
+	}
+	wg.Wait()
+	return cs.value()
+}

@@ -1,0 +1,46 @@
+package parsecsim
+
+import "sync"
+
+// runX264 models PARSEC x264's frame-parallel encoder: frame i's encoder
+// may only process a macroblock row once frame i-1's encoder has advanced
+// past the rows it references, so each worker waits on the previous
+// frame's progress counter — a single condition-synchronization point
+// (Table 2.1 lists 1).
+func runX264(k *Kit, threads, scale int) uint64 {
+	frames := 8 * scale
+	const rows = 24
+	const lag = 3 // rows of the previous frame a row depends on
+
+	progress := make([]*Counter, frames+1)
+	for i := range progress {
+		progress[i] = k.NewCounter()
+	}
+	progress[0].InitValue(rows) // virtual frame -1 is fully "encoded"
+	var cs checksum
+	var wg sync.WaitGroup
+
+	// Workers encode frames round-robin; within a frame, rows are
+	// sequential, waiting on the previous frame's row progress.
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			thr := k.NewThread()
+			var local uint64
+			for f := id; f < frames; f += threads {
+				for r := 0; r < rows; r++ {
+					need := uint64(min(r+lag+1, rows))
+					// syncpoint(x264): wait for the reference rows of the
+					// previous frame to be encoded
+					progress[f].WaitAtLeast(thr, need)
+					local += workUnit(2, uint64(f)<<20|uint64(r)+1)
+					progress[f+1].Add(thr, 1)
+				}
+			}
+			cs.add(local)
+		}(w)
+	}
+	wg.Wait()
+	return cs.value()
+}

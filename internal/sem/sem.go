@@ -1,0 +1,42 @@
+// Package sem provides the per-thread binary semaphore used by the
+// Deschedule mechanism (Algorithm 4): a waiter sleeps on its semaphore and
+// any number of writers may signal it, with signals coalescing so that at
+// most one wakeup token is buffered.
+package sem
+
+// Sem is a binary semaphore with coalescing signals. The zero value is not
+// usable; construct with New.
+type Sem struct {
+	ch chan struct{}
+}
+
+// New returns a semaphore with no pending signal.
+func New() *Sem {
+	return &Sem{ch: make(chan struct{}, 1)}
+}
+
+// Signal posts a wakeup. If a token is already pending the call is a no-op,
+// giving the coalescing behaviour of a binary semaphore.
+func (s *Sem) Signal() {
+	select {
+	case s.ch <- struct{}{}:
+	default:
+	}
+}
+
+// Wait blocks until a signal is (or was) posted, consuming the token.
+func (s *Sem) Wait() {
+	<-s.ch
+}
+
+// TryDrain consumes a pending token without blocking and reports whether
+// one was present. The Deschedule protocol uses it to discard a stale token
+// when a waiter decides not to sleep after all.
+func (s *Sem) TryDrain() bool {
+	select {
+	case <-s.ch:
+		return true
+	default:
+		return false
+	}
+}

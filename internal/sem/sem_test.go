@@ -1,0 +1,85 @@
+package sem
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSignalThenWait(t *testing.T) {
+	s := New()
+	s.Signal()
+	done := make(chan struct{})
+	go func() { s.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait blocked despite pending signal")
+	}
+}
+
+func TestSignalsCoalesce(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.Signal()
+	}
+	s.Wait() // consumes the single coalesced token
+	if s.TryDrain() {
+		t.Fatal("more than one token buffered")
+	}
+}
+
+func TestWaitBlocksUntilSignal(t *testing.T) {
+	s := New()
+	released := make(chan struct{})
+	go func() { s.Wait(); close(released) }()
+	select {
+	case <-released:
+		t.Fatal("Wait returned without a signal")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Signal()
+	select {
+	case <-released:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not wake after Signal")
+	}
+}
+
+func TestTryDrain(t *testing.T) {
+	s := New()
+	if s.TryDrain() {
+		t.Fatal("TryDrain succeeded on empty semaphore")
+	}
+	s.Signal()
+	if !s.TryDrain() {
+		t.Fatal("TryDrain failed with pending token")
+	}
+	if s.TryDrain() {
+		t.Fatal("TryDrain consumed a second phantom token")
+	}
+}
+
+func TestManySignalersOneWaiter(t *testing.T) {
+	s := New()
+	const rounds = 1000
+	var wg sync.WaitGroup
+	woken := 0
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < rounds; i++ {
+			s.Wait()
+			woken++
+			done <- struct{}{}
+		}
+	}()
+	for i := 0; i < rounds; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); s.Signal() }()
+		<-done
+	}
+	wg.Wait()
+	if woken != rounds {
+		t.Fatalf("woken %d times, want %d", woken, rounds)
+	}
+}

@@ -1,0 +1,78 @@
+// Package spin provides bounded exponential backoff and a tiny spinlock,
+// the low-level waiting primitives used by the STM engines and the
+// condition-synchronization runtime.
+package spin
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Backoff implements randomized bounded exponential backoff. The zero value
+// is ready to use. It is not safe for concurrent use; each goroutine keeps
+// its own.
+type Backoff struct {
+	attempt uint
+	rng     uint64
+}
+
+// maxShift bounds the backoff window at 2^maxShift spins.
+const maxShift = 10
+
+// Wait spins for a randomized interval that grows exponentially with the
+// number of calls since the last Reset, yielding the processor between
+// bursts so that oversubscribed configurations make progress.
+func (b *Backoff) Wait() {
+	if b.rng == 0 {
+		b.rng = 0x9e3779b97f4a7c15
+	}
+	shift := b.attempt
+	if shift > maxShift {
+		shift = maxShift
+	}
+	// xorshift64 for a cheap thread-local random spin count.
+	b.rng ^= b.rng << 13
+	b.rng ^= b.rng >> 7
+	b.rng ^= b.rng << 17
+	spins := b.rng % (1 << shift)
+	for i := uint64(0); i < spins; i++ {
+		if i%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+	runtime.Gosched()
+	b.attempt++
+}
+
+// Attempts reports how many times Wait has been called since the last Reset.
+func (b *Backoff) Attempts() uint { return b.attempt }
+
+// Reset clears the backoff window after a success.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Lock is a test-and-test-and-set spinlock. The zero value is unlocked.
+// It is used only for short critical sections over in-memory metadata
+// (e.g. the waiters registry) where a full mutex would dominate.
+type Lock struct {
+	state atomic.Uint32
+}
+
+// Lock acquires the spinlock.
+func (l *Lock) Lock() {
+	for {
+		if l.state.Load() == 0 && l.state.CompareAndSwap(0, 1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// TryLock attempts to acquire the spinlock without blocking.
+func (l *Lock) TryLock() bool {
+	return l.state.Load() == 0 && l.state.CompareAndSwap(0, 1)
+}
+
+// Unlock releases the spinlock. It must be held.
+func (l *Lock) Unlock() {
+	l.state.Store(0)
+}

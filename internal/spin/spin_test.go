@@ -1,0 +1,58 @@
+package spin
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBackoffGrowsAndResets(t *testing.T) {
+	var b Backoff
+	for i := 0; i < 20; i++ {
+		b.Wait()
+	}
+	if b.Attempts() != 20 {
+		t.Fatalf("attempts = %d, want 20", b.Attempts())
+	}
+	b.Reset()
+	if b.Attempts() != 0 {
+		t.Fatalf("attempts after reset = %d", b.Attempts())
+	}
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	var l Lock
+	var counter int
+	const goroutines = 8
+	const per = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*per {
+		t.Fatalf("counter = %d, want %d (mutual exclusion violated)", counter, goroutines*per)
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	var l Lock
+	if !l.TryLock() {
+		t.Fatal("TryLock failed on free lock")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock succeeded on held lock")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock failed after Unlock")
+	}
+	l.Unlock()
+}

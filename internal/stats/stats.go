@@ -1,0 +1,64 @@
+// Package stats provides the summary statistics the evaluation reports:
+// each plotted point is the average of several trials, with variance
+// tracked because the oversubscribed configurations are noisy (§2.4.1).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of trial measurements.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1)
+	Stddev   float64
+	Min      float64
+	Max      float64
+	Median   float64
+}
+
+// Summarize computes summary statistics over xs. It panics on an empty
+// sample, which would indicate a harness bug.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Variance = ss / float64(len(xs)-1)
+		s.Stddev = math.Sqrt(s.Variance)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// String renders "mean ± stddev" in seconds, the form the figures plot.
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4f±%.4f", s.Mean, s.Stddev)
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || !near(s.Mean, 2.5) || !near(s.Min, 1) || !near(s.Max, 4) {
+		t.Fatalf("bad summary %+v", s)
+	}
+	// variance of {1,2,3,4} with n-1: ((1.5^2)*2 + (0.5^2)*2)/3 = 5/3
+	if !near(s.Variance, 5.0/3.0) {
+		t.Fatalf("variance = %v", s.Variance)
+	}
+	if !near(s.Median, 2.5) {
+		t.Fatalf("median = %v", s.Median)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Variance != 0 || s.Stddev != 0 || s.Median != 7 {
+		t.Fatalf("bad single-sample summary %+v", s)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	s := Summarize([]float64{9, 1, 5})
+	if !near(s.Median, 5) {
+		t.Fatalf("median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty sample")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Mean+1e-6 && s.Mean <= s.Max+1e-6 &&
+			s.Min <= s.Median && s.Median <= s.Max && s.Variance >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

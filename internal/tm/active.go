@@ -1,0 +1,19 @@
+package tm
+
+import "math"
+
+// startSentinel marks a thread that is between publishing activity and
+// refining its start time; quiescing writers must wait for it to resolve.
+const startSentinel = math.MaxUint64
+
+// PublishStart announces that this thread is beginning a transaction
+// attempt and returns the attempt's start time. The two-step publication
+// (sentinel, then start+1) closes the race in which a committing writer's
+// quiescence scan misses a transaction that sampled the clock before the
+// writer's commit but published after the scan.
+func (t *Thread) PublishStart() uint64 {
+	t.ActiveStart.Store(startSentinel)
+	v := t.Sys.Clock.Now()
+	t.ActiveStart.Store(v + 1)
+	return v
+}

@@ -1,0 +1,147 @@
+package tm_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tmsync/internal/tm"
+)
+
+// TestIrrevocableExclusive checks that an irrevocable transaction runs
+// with system-wide exclusivity on every engine: a non-transactional
+// side-effect counter incremented inside irrevocable sections never
+// observes concurrency.
+func TestIrrevocableExclusive(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, sys *tm.System) {
+		var inside, maxInside int64
+		var mu sync.Mutex
+		var counter uint64
+		var wg sync.WaitGroup
+		const workers = 4
+		const per = 200
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				thr := sys.NewThread()
+				for i := 0; i < per; i++ {
+					thr.Atomic(func(tx *tm.Tx) {
+						tx.Irrevocable()
+						mu.Lock()
+						inside++
+						if inside > maxInside {
+							maxInside = inside
+						}
+						mu.Unlock()
+						tx.Write(&counter, tx.Read(&counter)+1)
+						mu.Lock()
+						inside--
+						mu.Unlock()
+					})
+				}
+			}()
+		}
+		wg.Wait()
+		if counter != workers*per {
+			t.Fatalf("counter = %d, want %d", counter, workers*per)
+		}
+		if maxInside != 1 {
+			t.Fatalf("irrevocable sections overlapped: max concurrency %d", maxInside)
+		}
+	})
+}
+
+// TestIrrevocableRunsOnce verifies that once a transaction turns
+// irrevocable, the body does not re-execute (the "I/O exactly once"
+// guarantee): effects after Irrevocable() happen exactly one time.
+func TestIrrevocableRunsOnce(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, sys *tm.System) {
+		var ioCount atomic.Int64
+		var x uint64
+		const workers = 4
+		const per = 150
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				thr := sys.NewThread()
+				for i := 0; i < per; i++ {
+					thr.Atomic(func(tx *tm.Tx) {
+						v := tx.Read(&x)
+						tx.Irrevocable()
+						ioCount.Add(1) // "I/O": must happen exactly once per op
+						tx.Write(&x, v+1)
+					})
+				}
+			}()
+		}
+		wg.Wait()
+		if x != workers*per {
+			t.Fatalf("x = %d, want %d", x, workers*per)
+		}
+		if ioCount.Load() != workers*per {
+			t.Fatalf("I/O ran %d times for %d operations", ioCount.Load(), workers*per)
+		}
+	})
+}
+
+// TestIrrevocableMixedWithNormal runs irrevocable transactions against a
+// background of ordinary transactions on the same data.
+func TestIrrevocableMixedWithNormal(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, sys *tm.System) {
+		var counter uint64
+		var wg sync.WaitGroup
+		const per = 300
+		for w := 0; w < 2; w++ {
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				thr := sys.NewThread()
+				for i := 0; i < per; i++ {
+					thr.Atomic(func(tx *tm.Tx) {
+						tx.Write(&counter, tx.Read(&counter)+1)
+					})
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				thr := sys.NewThread()
+				for i := 0; i < per; i++ {
+					thr.Atomic(func(tx *tm.Tx) {
+						tx.Irrevocable()
+						tx.Write(&counter, tx.Read(&counter)+1)
+					})
+				}
+			}()
+		}
+		wg.Wait()
+		if counter != 4*per {
+			t.Fatalf("counter = %d, want %d", counter, 4*per)
+		}
+	})
+}
+
+// TestIrrevocableIdempotent checks that calling Irrevocable twice in the
+// same transaction is a no-op the second time.
+func TestIrrevocableIdempotent(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, sys *tm.System) {
+		thr := sys.NewThread()
+		runs := 0
+		var x uint64
+		thr.Atomic(func(tx *tm.Tx) {
+			runs++
+			tx.Irrevocable()
+			tx.Irrevocable()
+			tx.Write(&x, 9)
+		})
+		// One speculative run + one irrevocable re-execution.
+		if runs != 2 {
+			t.Fatalf("body ran %d times, want 2", runs)
+		}
+		if x != 9 {
+			t.Fatalf("x = %d", x)
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package tm_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tmsync/internal/tm"
+)
+
+// TestWriteSetLastWriteWinsProperty: for any sequence of writes over a
+// small address set, WriteSet must report the last value written per
+// address and exactly the set of distinct addresses.
+func TestWriteSetLastWriteWinsProperty(t *testing.T) {
+	addrs := make([]uint64, 8)
+	f := func(ops []uint8, vals []uint64) bool {
+		var ws tm.WriteSet
+		model := make(map[*uint64]uint64)
+		for i, op := range ops {
+			a := &addrs[int(op)%len(addrs)]
+			v := uint64(i)
+			if i < len(vals) {
+				v = vals[i]
+			}
+			ws.Put(a, v, uint32(op))
+			model[a] = v
+		}
+		if ws.Len() != len(model) {
+			return false
+		}
+		for a, want := range model {
+			got, ok := ws.Get(a)
+			if !ok || got != want {
+				return false
+			}
+		}
+		ws.Reset()
+		if ws.Len() != 0 {
+			return false
+		}
+		for a := range model {
+			if _, ok := ws.Get(a); ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteSetEntryOrderProperty: entries preserve first-write order of
+// distinct addresses (the commit loops rely on a stable iteration).
+func TestWriteSetEntryOrderProperty(t *testing.T) {
+	addrs := make([]uint64, 6)
+	f := func(ops []uint8) bool {
+		var ws tm.WriteSet
+		var order []*uint64
+		seen := make(map[*uint64]bool)
+		for _, op := range ops {
+			a := &addrs[int(op)%len(addrs)]
+			ws.Put(a, uint64(op), 0)
+			if !seen[a] {
+				seen[a] = true
+				order = append(order, a)
+			}
+		}
+		if len(ws.Entries) != len(order) {
+			return false
+		}
+		for i := range order {
+			if ws.Entries[i].Addr != order[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOldValueProperty: OldValue returns the value from the first undo
+// entry per address — the committed (pre-transaction) value.
+func TestOldValueProperty(t *testing.T) {
+	addrs := make([]uint64, 4)
+	f := func(ops []uint8) bool {
+		tx := &tm.Tx{}
+		first := make(map[*uint64]uint64)
+		for i, op := range ops {
+			a := &addrs[int(op)%len(addrs)]
+			v := uint64(i) * 7
+			tx.Undo = append(tx.Undo, tm.UndoEntry{Addr: a, Old: v})
+			if _, ok := first[a]; !ok {
+				first[a] = v
+			}
+		}
+		for a, want := range first {
+			got, ok := tx.OldValue(a)
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := tx.OldValue(new(uint64))
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSignatureProperty: the hardware signature must never produce a false
+// negative — any added index must test positive.
+func TestSignatureProperty(t *testing.T) {
+	f := func(idxs []uint32) bool {
+		var thr tm.Thread
+		for _, i := range idxs {
+			thr.SigAdd(i)
+		}
+		for _, i := range idxs {
+			if !thr.SigMightContain(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSigResetClears: after a reset no previously-added index may linger.
+func TestSigResetClears(t *testing.T) {
+	var thr tm.Thread
+	for i := uint32(0); i < 1024; i++ {
+		thr.SigAdd(i)
+	}
+	thr.SigReset()
+	for i := uint32(0); i < 1024; i++ {
+		if thr.SigMightContain(i) {
+			t.Fatalf("index %d survived reset", i)
+		}
+	}
+}

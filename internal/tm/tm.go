@@ -1,0 +1,803 @@
+// Package tm defines the engine-independent transactional-memory runtime:
+// the transaction descriptor (per-thread metadata of Appendix A), the
+// Engine interface implemented by the eager STM, lazy STM, and simulated
+// HTM, the atomic-execution driver that plays the role of the C
+// checkpoint/restore (setjmp/longjmp) machinery using panic/recover, and
+// shared services (logical clock, orec table, quiescence, allocation
+// pools, statistics).
+//
+// Condition synchronization (package core) layers on top through two
+// extension points: the Signal interface, which lets a mechanism unwind an
+// in-flight transaction and decide how the thread proceeds, and the
+// System.PostCommit hook, which runs after every writer commit (the
+// wakeWaiters call of Algorithm 4).
+package tm
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tmsync/internal/clock"
+	"tmsync/internal/locktable"
+	"tmsync/internal/sem"
+	"tmsync/internal/spin"
+)
+
+// Mode describes how the current transaction attempt executes.
+type Mode uint8
+
+const (
+	// ModeSTM is an instrumented software transaction.
+	ModeSTM Mode = iota
+	// ModeHW is a simulated best-effort hardware transaction: invisible
+	// buffered writes, eager conflict aborts, capacity limits, and no
+	// escape actions.
+	ModeHW
+	// ModeSerial is the software fallback mode of the HTM engine: the
+	// thread holds the global serial lock, concurrency is suspended, and
+	// escape actions (waitset logging, descheduling) are permitted.
+	ModeSerial
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSTM:
+		return "stm"
+	case ModeHW:
+		return "hw"
+	case ModeSerial:
+		return "serial"
+	}
+	return "unknown"
+}
+
+// AbortReason classifies why a transaction attempt aborted.
+type AbortReason uint8
+
+const (
+	AbortConflict AbortReason = iota
+	AbortCapacity
+	AbortSpurious
+	AbortExplicit
+)
+
+// ReadEntry records one transactional read for later validation.
+type ReadEntry struct {
+	Addr *uint64
+	Orec uint32 // orec slot covering Addr
+	Ver  uint64 // orec version observed at the read (timestamp extension)
+}
+
+// UndoEntry records the pre-write value of a word (eager STM / serial mode).
+type UndoEntry struct {
+	Addr *uint64
+	Old  uint64
+}
+
+// AddrVal is an address/value pair; the waitset of Algorithm 5 is a list
+// of these, enabling value-based wakeup decisions (immune to silent stores).
+type AddrVal struct {
+	Addr *uint64
+	Val  uint64
+}
+
+// WriteEntry is one buffered write in a redo log.
+type WriteEntry struct {
+	Addr *uint64
+	Val  uint64
+	Orec uint32
+}
+
+// WriteSet is an ordered redo log with O(1) lookup, used by the lazy STM
+// and the simulated HTM.
+type WriteSet struct {
+	Entries []WriteEntry
+	index   map[*uint64]int
+}
+
+// Put buffers a write, overwriting any earlier write to the same address.
+func (w *WriteSet) Put(addr *uint64, val uint64, orec uint32) {
+	if w.index == nil {
+		w.index = make(map[*uint64]int, 16)
+	}
+	if i, ok := w.index[addr]; ok {
+		w.Entries[i].Val = val
+		return
+	}
+	w.index[addr] = len(w.Entries)
+	w.Entries = append(w.Entries, WriteEntry{Addr: addr, Val: val, Orec: orec})
+}
+
+// Get returns the buffered value for addr, if any.
+func (w *WriteSet) Get(addr *uint64) (uint64, bool) {
+	if w.index == nil {
+		return 0, false
+	}
+	if i, ok := w.index[addr]; ok {
+		return w.Entries[i].Val, true
+	}
+	return 0, false
+}
+
+// Len returns the number of distinct buffered addresses.
+func (w *WriteSet) Len() int { return len(w.Entries) }
+
+// Reset clears the write set for reuse.
+func (w *WriteSet) Reset() {
+	w.Entries = w.Entries[:0]
+	clear(w.index)
+}
+
+// Tx is the per-thread transaction descriptor. One descriptor lives in each
+// Thread and is reused across attempts; flat (subsumption) nesting is
+// handled with the Nesting counter exactly as in Algorithm 9.
+type Tx struct {
+	Thr *Thread
+	Sys *System
+
+	Start   uint64      // logical time of transaction start
+	Reads   []ReadEntry // locations read (validation)
+	Undo    []UndoEntry // eager/serial: writes to undo
+	Redo    WriteSet    // lazy/hw: buffered writes
+	Locks   []uint32    // orec slots locked by this transaction
+	Waitset []AddrVal   // Retry/Await: address/value pairs observed
+	Mallocs [][]uint64  // transactional allocations (undone on abort)
+	Frees   [][]uint64  // deferred frees (performed on commit)
+
+	// WriteOrecs is filled by the engine during a successful Commit with
+	// the orec slots the transaction wrote. The original Retry mechanism
+	// (Algorithm 1) intersects it with sleeping transactions' read sets.
+	WriteOrecs []uint32
+
+	// OnCommit holds actions deferred until the attempt commits (e.g.
+	// condition-variable signals, which must not fire from an attempt
+	// that may yet abort). Dropped without running if the attempt aborts.
+	OnCommit []func()
+
+	Mode     Mode
+	Nesting  int
+	Attempts int  // attempts of the current Atomic execution
+	IsRetry  bool // Algorithm 5: log address/value pairs on every read
+	// WantSoftware forces the next HTM attempt into ModeSerial so that
+	// escape actions become available (restart_in_STM of Algorithm 5).
+	WantSoftware bool
+	// SerialHeld records that this attempt owns the system's serial lock
+	// (HTM fallback mode or an irrevocable section); it is released
+	// exactly once, by the engine or the driver.
+	SerialHeld bool
+	// WantIrrevocable asks the driver to re-execute the next attempt as
+	// an irrevocable (serialized) transaction, the model for the "relaxed
+	// transactions" that perform I/O (§2.4.2).
+	WantIrrevocable bool
+
+	// hwReads/hwWrites count words accessed by a hardware transaction for
+	// capacity accounting.
+	HWReads, HWWrites int
+
+	rng uint64 // per-tx xorshift state (spurious-abort draws)
+}
+
+// Rand returns a pseudo-random 64-bit value from the descriptor's private
+// xorshift generator.
+func (tx *Tx) Rand() uint64 {
+	x := tx.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	tx.rng = x
+	return x
+}
+
+// Read performs a transactional load through the system's engine.
+func (tx *Tx) Read(addr *uint64) uint64 { return tx.Sys.Engine.Read(tx, addr) }
+
+// Write performs a transactional store through the system's engine.
+func (tx *Tx) Write(addr *uint64, v uint64) { tx.Sys.Engine.Write(tx, addr, v) }
+
+// DidWrite reports whether the current attempt performed any store.
+func (tx *Tx) DidWrite() bool {
+	return len(tx.Undo) > 0 || tx.Redo.Len() > 0
+}
+
+// OldValue returns the pre-transaction value of addr if this transaction
+// wrote it (first undo-log entry wins: Algorithm 10 appends on every
+// write, so the earliest entry holds the original memory value).
+func (tx *Tx) OldValue(addr *uint64) (uint64, bool) {
+	for i := range tx.Undo {
+		if tx.Undo[i].Addr == addr {
+			return tx.Undo[i].Old, true
+		}
+	}
+	return 0, false
+}
+
+// LogWait appends an address/value pair to the waitset.
+func (tx *Tx) LogWait(addr *uint64, val uint64) {
+	tx.Waitset = append(tx.Waitset, AddrVal{Addr: addr, Val: val})
+}
+
+// Abort explicitly aborts the current attempt with the given reason. It
+// unwinds to the driver, which rolls back and re-executes after backoff.
+func (tx *Tx) Abort(reason AbortReason) {
+	panic(abortSig{reason: reason})
+}
+
+// Restart aborts the current attempt and re-executes immediately, without
+// backoff growth. This is the "Restart" baseline of the evaluation: abort
+// and immediately re-attempt whenever a precondition does not hold.
+func (tx *Tx) Restart() {
+	tx.Sys.Stats.ExplicitRestarts.Add(1)
+	panic(restartSig{})
+}
+
+// RestartTagged aborts the current attempt and re-executes it with IsRetry
+// set, so the engine logs an address/value waitset on every read
+// (restart-to-populate of Algorithm 5).
+func (tx *Tx) RestartTagged() {
+	tx.IsRetry = true
+	panic(restartSig{})
+}
+
+// RestartSoftware aborts the current attempt and re-executes it in an
+// instrumented software mode. Hardware transactions use it when they need
+// escape actions (Retry, Await, WaitPred); software engines treat it as a
+// plain immediate restart.
+func (tx *Tx) RestartSoftware() {
+	tx.WantSoftware = true
+	panic(restartSig{})
+}
+
+// Irrevocable makes the transaction irrevocable: the attempt restarts
+// under the system's serial lock with all other transactions drained, so
+// its effects — including external I/O — can never be rolled back by a
+// conflict. This models the "relaxed transactions" of the C++ Draft TM
+// Specification that the paper discusses for dedup's I/O critical
+// sections (§2.4.2). Condition synchronization before the I/O remains
+// safe; a Retry/Await/WaitPred after this call releases irrevocability
+// when it unwinds, so the caller must re-establish its precondition on
+// re-execution (as the paper requires, condition synchronization must
+// precede the I/O).
+func (tx *Tx) Irrevocable() {
+	if tx.SerialHeld {
+		return
+	}
+	tx.WantIrrevocable = true
+	panic(restartSig{})
+}
+
+// Alloc returns a transactionally-allocated block of n words. If the
+// transaction aborts the block is automatically returned to the pool; if
+// it commits the block survives.
+func (tx *Tx) Alloc(n int) []uint64 {
+	b := tx.Sys.pool.get(n)
+	tx.Mallocs = append(tx.Mallocs, b)
+	return b
+}
+
+// Free defers the reclamation of block b until the transaction commits; an
+// abort drops the deferral, matching the malloc/free protocol of Appendix A.
+func (tx *Tx) Free(b []uint64) {
+	tx.Frees = append(tx.Frees, b)
+}
+
+// TakeMallocs removes and returns this attempt's allocations. The
+// Deschedule protocol uses it to defer undoing allocations until after the
+// waiter has been woken, as required when the waitset names captured memory.
+func (tx *Tx) TakeMallocs() [][]uint64 {
+	m := tx.Mallocs
+	tx.Mallocs = nil
+	return m
+}
+
+// resetAfterAttempt clears per-attempt state. If committed, deferred frees
+// are finalized and allocations survive; otherwise allocations are undone
+// and deferred frees dropped.
+func (tx *Tx) resetAfterAttempt(committed bool) {
+	if committed {
+		for _, b := range tx.Frees {
+			tx.Sys.pool.put(b)
+		}
+	} else {
+		for _, b := range tx.Mallocs {
+			tx.Sys.pool.put(b)
+		}
+	}
+	tx.Reads = tx.Reads[:0]
+	tx.Undo = tx.Undo[:0]
+	tx.Redo.Reset()
+	tx.Locks = tx.Locks[:0]
+	tx.Mallocs = tx.Mallocs[:0]
+	tx.Frees = tx.Frees[:0]
+	tx.WriteOrecs = tx.WriteOrecs[:0]
+	tx.OnCommit = tx.OnCommit[:0]
+	tx.HWReads, tx.HWWrites = 0, 0
+}
+
+// ResetWaitset lazily clears the waitset (Algorithm 5 resets it lazily).
+func (tx *Tx) ResetWaitset() { tx.Waitset = tx.Waitset[:0] }
+
+// Engine is implemented by each TM back end.
+type Engine interface {
+	// Name identifies the engine ("eager", "lazy", "htm").
+	Name() string
+	// Begin prepares a new attempt (samples the clock, chooses the mode).
+	Begin(tx *Tx)
+	// Read performs an instrumented load; it may Abort.
+	Read(tx *Tx, addr *uint64) uint64
+	// Write performs an instrumented store; it may Abort.
+	Write(tx *Tx, addr *uint64, v uint64)
+	// Commit attempts to commit the attempt; it may Abort. On return the
+	// transaction's effects are durable.
+	Commit(tx *Tx)
+	// Rollback undoes all speculative effects and releases all locks and
+	// engine resources held by the attempt, leaving memory as if the
+	// transaction never ran. It must tolerate being called after
+	// AwaitSnapshot has already applied the undo log.
+	Rollback(tx *Tx)
+	// Validate reports whether the attempt's read set is still consistent.
+	// Used by the original Retry mechanism (Algorithm 1) and by tests.
+	Validate(tx *Tx) bool
+	// AwaitSnapshot implements the tricky step of Algorithm 6: undo this
+	// transaction's writes (holding locks where the engine requires it),
+	// then read each address consistently with the transaction and append
+	// the observed address/value pairs to tx.Waitset. It may Abort.
+	AwaitSnapshot(tx *Tx, addrs []*uint64)
+}
+
+// Outcome tells the driver how to proceed after a Signal was handled.
+type Outcome int
+
+const (
+	// OutcomeRetry re-executes the transaction body after contention backoff.
+	OutcomeRetry Outcome = iota
+	// OutcomeRetryNow re-executes the transaction body immediately.
+	OutcomeRetryNow
+)
+
+// Signal is a control transfer raised inside a transaction body (by
+// panicking with a value implementing it). The driver rolls the attempt
+// back, then invokes Handle, which decides how the thread proceeds —
+// typically by sleeping until a wakeup condition holds. This is the
+// mechanism packages core and condvar use to implement Deschedule, Retry,
+// Await, WaitPred and transaction-safe condition variables without tm
+// depending on them.
+type Signal interface {
+	Handle(tx *Tx) Outcome
+}
+
+type abortSig struct{ reason AbortReason }
+
+type restartSig struct{}
+
+// Stats aggregates runtime counters for a System.
+type Stats struct {
+	Commits          atomic.Uint64
+	ROCommits        atomic.Uint64
+	Aborts           atomic.Uint64
+	ConflictAborts   atomic.Uint64
+	CapacityAborts   atomic.Uint64
+	SpuriousAborts   atomic.Uint64
+	ExplicitAborts   atomic.Uint64
+	ExplicitRestarts atomic.Uint64
+	Deschedules      atomic.Uint64
+	Wakeups          atomic.Uint64
+	FutileWakeups    atomic.Uint64
+	Serializations   atomic.Uint64
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *Stats) Snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"commits":           s.Commits.Load(),
+		"ro_commits":        s.ROCommits.Load(),
+		"aborts":            s.Aborts.Load(),
+		"conflict_aborts":   s.ConflictAborts.Load(),
+		"capacity_aborts":   s.CapacityAborts.Load(),
+		"spurious_aborts":   s.SpuriousAborts.Load(),
+		"explicit_aborts":   s.ExplicitAborts.Load(),
+		"explicit_restarts": s.ExplicitRestarts.Load(),
+		"deschedules":       s.Deschedules.Load(),
+		"wakeups":           s.Wakeups.Load(),
+		"futile_wakeups":    s.FutileWakeups.Load(),
+		"serializations":    s.Serializations.Load(),
+	}
+}
+
+// Config selects system-wide parameters.
+type Config struct {
+	// TableSize is the number of orecs (power of two). 0 selects the default.
+	TableSize int
+	// Quiesce enables privatization safety: a committing writer waits for
+	// all concurrent transactions that started before its commit.
+	Quiesce bool
+	// TimestampExtension lets the eager STM extend a transaction's start
+	// time instead of aborting when it reads a too-new location, by
+	// revalidating the read set at the current clock (Riegel et al. [22];
+	// Appendix A notes the abort-on-too-new default is conservative).
+	TimestampExtension bool
+	// HTMReadCap / HTMWriteCap bound the simulated hardware read and write
+	// sets, in words. 0 selects the defaults (4096 / 448).
+	HTMReadCap, HTMWriteCap int
+	// HTMSpuriousAbortPerMille injects simulated spurious hardware aborts
+	// with probability n/1000 per transactional access.
+	HTMSpuriousAbortPerMille int
+	// HTMMaxRetries is the number of hardware attempts before the engine
+	// serializes on the global lock (GCC uses 2).
+	HTMMaxRetries int
+	// HTMWaitPredFastPath models the 8-bit abort-code trick of §2.2.6:
+	// WaitPred deschedules directly from a hardware abort instead of
+	// re-executing in software mode first.
+	HTMWaitPredFastPath bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.TableSize == 0 {
+		c.TableSize = locktable.DefaultSize
+	}
+	if c.HTMReadCap == 0 {
+		c.HTMReadCap = 4096
+	}
+	if c.HTMWriteCap == 0 {
+		c.HTMWriteCap = 448
+	}
+	if c.HTMMaxRetries == 0 {
+		c.HTMMaxRetries = 2
+	}
+	return c
+}
+
+// System owns one TM instance: an engine plus the shared metadata every
+// engine needs. Distinct Systems are fully independent.
+type System struct {
+	Engine Engine
+	Clock  clock.Clock
+	Table  *locktable.Table
+	Cfg    Config
+	Stats  Stats
+
+	// PostCommit, if set, runs on the committing thread after every
+	// writer commit (wakeWaiters of Algorithm 4). It is not re-entered
+	// for commits performed inside the hook itself.
+	PostCommit func(t *Thread)
+
+	// Ext points at the condition-synchronization layer (package core)
+	// when one is enabled; tm itself never inspects it.
+	Ext any
+
+	// SerialMu is the global serialization lock used by the HTM engine's
+	// fallback path and by irrevocable sections.
+	SerialMu     sync.Mutex
+	SerialActive atomic.Int32
+
+	mu      spin.Lock
+	threads []*Thread
+	nextID  atomic.Uint64
+
+	pool blockPool
+}
+
+// NewSystem creates a System around the given engine factory. Engines are
+// constructed by their packages via a func(*System) Engine so that they can
+// capture the system's clock and table.
+func NewSystem(cfg Config, mk func(*System) Engine) *System {
+	cfg = cfg.withDefaults()
+	s := &System{Cfg: cfg, Table: locktable.New(cfg.TableSize)}
+	s.pool.init()
+	s.Engine = mk(s)
+	return s
+}
+
+// Threads returns a snapshot of all threads registered with the system.
+func (s *System) Threads() []*Thread {
+	s.mu.Lock()
+	out := make([]*Thread, len(s.threads))
+	copy(out, s.threads)
+	s.mu.Unlock()
+	return out
+}
+
+// threadsUnlocked is used on hot paths (quiescence, HTM conflict scans)
+// where the slice only grows and entries are immutable once published.
+// Callers must tolerate a slightly stale length.
+func (s *System) threadsUnlocked() []*Thread {
+	s.mu.Lock()
+	t := s.threads
+	s.mu.Unlock()
+	return t
+}
+
+// Quiesce blocks until every transaction that was active with a start time
+// ≤ end has finished its current attempt, providing privatization safety
+// after a writer commit (Appendix A, TxCommit line 20).
+func (s *System) Quiesce(self *Thread, end uint64) {
+	threads := s.threadsUnlocked()
+	for _, t := range threads {
+		if t == self {
+			continue
+		}
+		for {
+			st := t.ActiveStart.Load()
+			// st is 0 when inactive, startSentinel while the thread is
+			// publishing, and start+1 otherwise. Wait for transactions
+			// whose start precedes our commit time.
+			if st == 0 || (st != startSentinel && st > end) {
+				break
+			}
+			spinYield()
+		}
+	}
+}
+
+// Thread is the per-worker handle. Each goroutine that executes
+// transactions must own exactly one Thread, created with NewThread.
+type Thread struct {
+	ID  uint64
+	Sys *System
+	Tx  Tx
+	Sem *sem.Sem
+
+	// ActiveStart publishes the start time of an in-flight attempt for
+	// quiescence (0 = no attempt in flight).
+	ActiveStart atomic.Uint64
+
+	// Simulated-HTM state: a read/write signature for eager conflict
+	// detection, an active flag, and a doomed flag set by conflicting
+	// committers (the cache-invalidation abort of best-effort HTM).
+	HWActive atomic.Bool
+	Doomed   atomic.Bool
+	Sig      [SigWords]atomic.Uint64
+
+	// Waiter is owned by the condition-synchronization layer (package
+	// core); tm never touches it.
+	Waiter any
+
+	// DeferredAllocs holds allocations whose undo was postponed by a
+	// deschedule (captured-memory rule of Algorithm 6).
+	DeferredAllocs [][]uint64
+
+	// LastWriteOrecs snapshots the orec slots written by the most recent
+	// committed transaction, for the PostCommit hook (Retry-Orig).
+	LastWriteOrecs []uint32
+
+	inPostCommit bool
+	backoff      spin.Backoff
+}
+
+// SigWords is the size of the simulated hardware signature (512 bits).
+const SigWords = 8
+
+// NewThread registers a new worker with the system.
+func (s *System) NewThread() *Thread {
+	id := s.nextID.Add(1)
+	if id > locktable.MaxOwner {
+		panic("tm: thread id space exhausted")
+	}
+	t := &Thread{ID: id, Sys: s, Sem: sem.New()}
+	t.Tx.Thr = t
+	t.Tx.Sys = s
+	t.Tx.rng = id*0x9e3779b97f4a7c15 + 1
+	s.mu.Lock()
+	s.threads = append(s.threads, t)
+	s.mu.Unlock()
+	return t
+}
+
+// SigReset clears the hardware signature.
+func (t *Thread) SigReset() {
+	for i := range t.Sig {
+		t.Sig[i].Store(0)
+	}
+}
+
+// SigAdd marks orec slot idx in the hardware signature.
+func (t *Thread) SigAdd(idx uint32) {
+	b := idx % (SigWords * 64)
+	t.Sig[b/64].Or(1 << (b % 64))
+}
+
+// SigMightContain reports whether orec slot idx may be in the signature.
+func (t *Thread) SigMightContain(idx uint32) bool {
+	b := idx % (SigWords * 64)
+	return t.Sig[b/64].Load()&(1<<(b%64)) != 0
+}
+
+// Atomic executes fn as a transaction, retrying on conflicts and handling
+// condition-synchronization signals until fn commits. Nested calls flatten
+// into the outer transaction (subsumption nesting). fn must be safe to
+// re-execute: all its effects on shared state must go through tx.
+func (t *Thread) Atomic(fn func(tx *Tx)) {
+	tx := &t.Tx
+	if tx.Nesting > 0 {
+		tx.Nesting++
+		// The decrement must survive control-transfer panics so that the
+		// outer driver sees a consistent depth when it re-executes.
+		defer func() { tx.Nesting-- }()
+		fn(tx)
+		return
+	}
+	tx.Attempts = 0
+	tx.IsRetry = false
+	tx.ResetWaitset()
+	t.backoff.Reset()
+	for {
+		res := t.attempt(tx, fn)
+		switch res.kind {
+		case attemptCommitted:
+			return
+		case attemptAborted:
+			t.Sys.Engine.Rollback(tx)
+			t.Sys.ExitSerialIfHeld(tx)
+			tx.Nesting = 0
+			t.ActiveStart.Store(0)
+			tx.resetAfterAttempt(false)
+			t.recordAbort(res.reason)
+			t.backoff.Wait()
+		case attemptRestart:
+			t.Sys.Engine.Rollback(tx)
+			t.Sys.ExitSerialIfHeld(tx)
+			tx.Nesting = 0
+			t.ActiveStart.Store(0)
+			tx.resetAfterAttempt(false)
+			// Immediate re-execution; the Restart baseline relies on the
+			// lack of backoff here.
+		case attemptSignal:
+			t.Sys.Engine.Rollback(tx)
+			// Release exclusivity before the handler sleeps, or a
+			// descheduled irrevocable transaction would block the world.
+			t.Sys.ExitSerialIfHeld(tx)
+			tx.Nesting = 0
+			t.ActiveStart.Store(0)
+			// Reset BEFORE Handle: handlers run fresh transactions on this
+			// descriptor (predicate double-checks), which must not inherit
+			// the rolled-back attempt's logs — a stale redo log would be
+			// written back by the inner commit. Handlers capture anything
+			// they need from the attempt when they raise the signal.
+			tx.resetAfterAttempt(false)
+			if res.sig.Handle(tx) == OutcomeRetry {
+				t.backoff.Wait()
+			}
+		}
+	}
+}
+
+type attemptKind int
+
+const (
+	attemptCommitted attemptKind = iota
+	attemptAborted
+	attemptRestart
+	attemptSignal
+)
+
+type attemptResult struct {
+	kind   attemptKind
+	reason AbortReason
+	sig    Signal
+}
+
+func (t *Thread) attempt(tx *Tx, fn func(tx *Tx)) (res attemptResult) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		switch s := r.(type) {
+		case abortSig:
+			res = attemptResult{kind: attemptAborted, reason: s.reason}
+		case restartSig:
+			res = attemptResult{kind: attemptRestart}
+		case Signal:
+			res = attemptResult{kind: attemptSignal, sig: s}
+		default:
+			// A genuine (user) panic: clean up engine state so locks are
+			// not leaked, then propagate.
+			t.Sys.Engine.Rollback(tx)
+			t.Sys.ExitSerialIfHeld(tx)
+			tx.Nesting = 0
+			t.ActiveStart.Store(0)
+			tx.resetAfterAttempt(false)
+			panic(r)
+		}
+	}()
+	tx.Attempts++
+	tx.Nesting = 1
+	if tx.IsRetry {
+		// A fresh tagged attempt rebuilds the waitset from scratch; stale
+		// pairs from an aborted attempt would cause futile wakeups.
+		tx.ResetWaitset()
+	}
+	if tx.WantIrrevocable {
+		// Irrevocable attempt: run under system-wide exclusivity so the
+		// transaction's effects (including I/O) can never be rolled back
+		// by a conflict.
+		tx.WantIrrevocable = false
+		t.Sys.EnterSerial(t)
+		tx.SerialHeld = true
+		t.Sys.Stats.Serializations.Add(1)
+	}
+	t.Sys.Engine.Begin(tx)
+	fn(tx)
+	// Capture write-ness before Commit: engines may consume their logs
+	// while committing, and the PostCommit hook must still fire.
+	wrote := tx.DidWrite()
+	t.Sys.Engine.Commit(tx)
+	t.Sys.ExitSerialIfHeld(tx)
+	tx.Nesting = 0
+	t.ActiveStart.Store(0)
+	t.LastWriteOrecs = append(t.LastWriteOrecs[:0], tx.WriteOrecs...)
+	deferred := tx.OnCommit
+	tx.OnCommit = nil
+	tx.resetAfterAttempt(true)
+	if wrote {
+		t.Sys.Stats.Commits.Add(1)
+	} else {
+		t.Sys.Stats.ROCommits.Add(1)
+	}
+	for _, f := range deferred {
+		f()
+	}
+	if wrote && t.Sys.PostCommit != nil && !t.inPostCommit {
+		t.inPostCommit = true
+		t.Sys.PostCommit(t)
+		t.inPostCommit = false
+	}
+	return attemptResult{kind: attemptCommitted}
+}
+
+func (t *Thread) recordAbort(r AbortReason) {
+	st := &t.Sys.Stats
+	st.Aborts.Add(1)
+	switch r {
+	case AbortConflict:
+		st.ConflictAborts.Add(1)
+	case AbortCapacity:
+		st.CapacityAborts.Add(1)
+	case AbortSpurious:
+		st.SpuriousAborts.Add(1)
+	case AbortExplicit:
+		st.ExplicitAborts.Add(1)
+	}
+}
+
+// InTx reports whether the thread has a transaction in flight.
+func (t *Thread) InTx() bool { return t.Tx.Nesting > 0 }
+
+// blockPool recycles transactional allocations, keyed by block size.
+type blockPool struct {
+	mu    spin.Lock
+	lists map[int][][]uint64
+}
+
+func (p *blockPool) init() { p.lists = make(map[int][][]uint64) }
+
+func (p *blockPool) get(n int) []uint64 {
+	p.mu.Lock()
+	l := p.lists[n]
+	if len(l) > 0 {
+		b := l[len(l)-1]
+		p.lists[n] = l[:len(l)-1]
+		p.mu.Unlock()
+		clear(b)
+		return b
+	}
+	p.mu.Unlock()
+	return make([]uint64, n)
+}
+
+func (p *blockPool) put(b []uint64) {
+	if b == nil {
+		return
+	}
+	p.mu.Lock()
+	p.lists[len(b)] = append(p.lists[len(b)], b)
+	p.mu.Unlock()
+}
+
+// FreeBlocks returns blocks to the allocation pool. The Deschedule
+// protocol uses it to finally undo allocations whose reclamation was
+// deferred across a sleep (captured memory, Algorithm 6).
+func (s *System) FreeBlocks(blocks [][]uint64) {
+	for _, b := range blocks {
+		s.pool.put(b)
+	}
+}

@@ -1,0 +1,7 @@
+package tm
+
+import "runtime"
+
+// spinYield yields the processor inside metadata spin loops (quiescence,
+// serial-lock waits) so oversubscribed configurations keep making progress.
+func spinYield() { runtime.Gosched() }

@@ -1,0 +1,98 @@
+// Package txds provides transactional data structures — an arena
+// allocator, an unbounded FIFO queue, a LIFO stack, and a hash map — built
+// entirely on the word-based TM API, with blocking variants of their
+// operations expressed through the paper's condition-synchronization
+// mechanisms (a Take on an empty queue Retries; an exhausted arena makes
+// allocators wait for a Free). They demonstrate the composability argument
+// of §1.2: because Retry does not break atomicity, these structures can be
+// combined into larger atomic operations freely.
+package txds
+
+import (
+	"fmt"
+
+	"tmsync/internal/core"
+	"tmsync/internal/mem"
+	"tmsync/internal/tm"
+)
+
+// Nil is the null node index. Arena indices are 1-based so the zero word
+// means "no node", matching the zero value of fresh transactional memory.
+const Nil = uint64(0)
+
+// Arena is a fixed-capacity allocator of equal-sized nodes inside one
+// slab of transactional words. Structures link nodes by index, the
+// word-TM analogue of pointers. Allocation and reclamation are
+// transactional: an aborted transaction's allocations are undone with it.
+type Arena struct {
+	nodeWords int
+	slab      *mem.Array
+	freeHead  mem.Var // index of first free node
+}
+
+// NewArena returns an arena of capacity nodes, each nodeWords words wide.
+func NewArena(capacity, nodeWords int) *Arena {
+	if capacity <= 0 || nodeWords <= 0 {
+		panic(fmt.Sprintf("txds: invalid arena geometry %d×%d", capacity, nodeWords))
+	}
+	a := &Arena{
+		nodeWords: nodeWords,
+		slab:      mem.NewArray(capacity * nodeWords),
+	}
+	// Thread the freelist through word 0 of each node.
+	for i := 1; i < capacity; i++ {
+		a.slab.Store((i-1)*nodeWords, uint64(i+1))
+	}
+	a.slab.Store((capacity-1)*nodeWords, Nil)
+	a.freeHead.Store(1)
+	return a
+}
+
+// Word returns the address of word off of node idx, for use with
+// tx.Read/tx.Write and Await.
+func (a *Arena) Word(idx uint64, off int) *uint64 {
+	if idx == Nil {
+		panic("txds: nil node dereference")
+	}
+	return a.slab.Addr((int(idx)-1)*a.nodeWords + off)
+}
+
+// TryAlloc pops a node from the freelist, returning Nil when the arena is
+// exhausted. The node's words are zeroed.
+func (a *Arena) TryAlloc(tx *tm.Tx) uint64 {
+	head := a.freeHead.Get(tx)
+	if head == Nil {
+		return Nil
+	}
+	a.freeHead.Set(tx, tx.Read(a.Word(head, 0)))
+	for off := 0; off < a.nodeWords; off++ {
+		tx.Write(a.Word(head, off), 0)
+	}
+	return head
+}
+
+// Alloc pops a node from the freelist, descheduling the transaction until
+// another transaction frees a node if the arena is exhausted — memory
+// pressure expressed as condition synchronization.
+func (a *Arena) Alloc(tx *tm.Tx) uint64 {
+	idx := a.TryAlloc(tx)
+	if idx == Nil {
+		core.Retry(tx)
+	}
+	return idx
+}
+
+// Free pushes node idx back onto the freelist.
+func (a *Arena) Free(tx *tm.Tx, idx uint64) {
+	tx.Write(a.Word(idx, 0), a.freeHead.Get(tx))
+	a.freeHead.Set(tx, idx)
+}
+
+// FreeCount walks the freelist and returns its length (tests; O(capacity)).
+func (a *Arena) FreeCount(tx *tm.Tx) int {
+	n := 0
+	for idx := a.freeHead.Get(tx); idx != Nil; idx = tx.Read(a.Word(idx, 0)) {
+		n++
+	}
+	return n
+}

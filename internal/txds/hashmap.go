@@ -1,0 +1,141 @@
+package txds
+
+import (
+	"tmsync/internal/core"
+	"tmsync/internal/mem"
+	"tmsync/internal/tm"
+)
+
+// Map is a transactional hash map from word keys to word values, using
+// per-bucket chains of arena nodes. Its WaitFor operation shows WaitPred
+// as a library primitive: wait until a key is present, waking only when
+// it actually appears.
+//
+// Node layout: word 0 = next index, word 1 = key, word 2 = value.
+type Map struct {
+	arena   *Arena
+	buckets *mem.Array
+	size    mem.Var
+	nb      uint64
+}
+
+// MapNodeWords is the arena node width a Map requires.
+const MapNodeWords = 3
+
+// NewMap returns an empty map with nbuckets chains (power of two).
+func NewMap(arena *Arena, nbuckets int) *Map {
+	if arena.nodeWords != MapNodeWords {
+		panic("txds: map arena must have 3 words per node")
+	}
+	if nbuckets <= 0 || nbuckets&(nbuckets-1) != 0 {
+		panic("txds: bucket count must be a positive power of two")
+	}
+	return &Map{arena: arena, buckets: mem.NewArray(nbuckets), nb: uint64(nbuckets)}
+}
+
+func (m *Map) bucket(key uint64) int {
+	h := key * 0x9e3779b97f4a7c15
+	return int((h >> 32) & (m.nb - 1))
+}
+
+// find returns the node holding key and its predecessor (Nil if none/head).
+func (m *Map) find(tx *tm.Tx, key uint64) (node, prev uint64) {
+	prev = Nil
+	node = m.buckets.Get(tx, m.bucket(key))
+	for node != Nil {
+		if tx.Read(m.arena.Word(node, 1)) == key {
+			return node, prev
+		}
+		prev = node
+		node = tx.Read(m.arena.Word(node, 0))
+	}
+	return Nil, Nil
+}
+
+// PutTx inserts or updates key → val; reports whether the key was new.
+func (m *Map) PutTx(tx *tm.Tx, key, val uint64) bool {
+	if n, _ := m.find(tx, key); n != Nil {
+		tx.Write(m.arena.Word(n, 2), val)
+		return false
+	}
+	n := m.arena.Alloc(tx)
+	b := m.bucket(key)
+	tx.Write(m.arena.Word(n, 1), key)
+	tx.Write(m.arena.Word(n, 2), val)
+	tx.Write(m.arena.Word(n, 0), m.buckets.Get(tx, b))
+	m.buckets.Set(tx, b, n)
+	m.size.Set(tx, m.size.Get(tx)+1)
+	return true
+}
+
+// GetTx looks key up.
+func (m *Map) GetTx(tx *tm.Tx, key uint64) (uint64, bool) {
+	n, _ := m.find(tx, key)
+	if n == Nil {
+		return 0, false
+	}
+	return tx.Read(m.arena.Word(n, 2)), true
+}
+
+// DeleteTx removes key, reporting whether it was present.
+func (m *Map) DeleteTx(tx *tm.Tx, key uint64) bool {
+	n, prev := m.find(tx, key)
+	if n == Nil {
+		return false
+	}
+	next := tx.Read(m.arena.Word(n, 0))
+	if prev == Nil {
+		m.buckets.Set(tx, m.bucket(key), next)
+	} else {
+		tx.Write(m.arena.Word(prev, 0), next)
+	}
+	m.arena.Free(tx, n)
+	m.size.Set(tx, m.size.Get(tx)-1)
+	return true
+}
+
+// LenTx returns the number of entries.
+func (m *Map) LenTx(tx *tm.Tx) int { return int(m.size.Get(tx)) }
+
+// WaitForTx returns key's value, descheduling on a predicate — "key is
+// present" — until some transaction inserts it. Unrelated insertions do
+// not wake the waiter.
+func (m *Map) WaitForTx(tx *tm.Tx, key uint64) uint64 {
+	v, ok := m.GetTx(tx, key)
+	if !ok {
+		core.WaitPred(tx, func(tx *tm.Tx, args []uint64) bool {
+			_, ok := m.GetTx(tx, args[0])
+			return ok
+		}, key)
+	}
+	return v
+}
+
+// Put inserts or updates in its own transaction.
+func (m *Map) Put(thr *tm.Thread, key, val uint64) bool {
+	var fresh bool
+	thr.Atomic(func(tx *tm.Tx) { fresh = m.PutTx(tx, key, val) })
+	return fresh
+}
+
+// Get looks up in its own transaction.
+func (m *Map) Get(thr *tm.Thread, key uint64) (uint64, bool) {
+	var v uint64
+	var ok bool
+	thr.Atomic(func(tx *tm.Tx) { v, ok = m.GetTx(tx, key) })
+	return v, ok
+}
+
+// Delete removes in its own transaction.
+func (m *Map) Delete(thr *tm.Thread, key uint64) bool {
+	var ok bool
+	thr.Atomic(func(tx *tm.Tx) { ok = m.DeleteTx(tx, key) })
+	return ok
+}
+
+// WaitFor blocks until key is present, then returns its value.
+func (m *Map) WaitFor(thr *tm.Thread, key uint64) uint64 {
+	var v uint64
+	thr.Atomic(func(tx *tm.Tx) { v = m.WaitForTx(tx, key) })
+	return v
+}

@@ -1,0 +1,98 @@
+package txds
+
+import (
+	"tmsync/internal/core"
+	"tmsync/internal/mem"
+	"tmsync/internal/tm"
+)
+
+// Queue is an unbounded transactional FIFO queue of word values. Nodes
+// come from a caller-supplied Arena, so "unbounded" means bounded by the
+// arena; a Put on an exhausted arena waits for a reclamation.
+//
+// Node layout: word 0 = next index, word 1 = value.
+const queueNodeWords = 2
+
+// Queue methods ending in Tx run inside the caller's transaction and
+// compose with other transactional operations; the rest open their own.
+type Queue struct {
+	arena *Arena
+	head  mem.Var // oldest node, Nil when empty
+	tail  mem.Var // newest node, Nil when empty
+	size  mem.Var
+}
+
+// NewQueue returns an empty queue drawing nodes from arena, which must
+// have been built with NodeWords() words per node.
+func NewQueue(arena *Arena) *Queue {
+	if arena.nodeWords != queueNodeWords {
+		panic("txds: queue arena must have 2 words per node")
+	}
+	return &Queue{arena: arena}
+}
+
+// QueueNodeWords is the arena node width a Queue requires.
+const QueueNodeWords = queueNodeWords
+
+// PutTx appends v, waiting for arena capacity if necessary.
+func (q *Queue) PutTx(tx *tm.Tx, v uint64) {
+	n := q.arena.Alloc(tx)
+	tx.Write(q.arena.Word(n, 1), v)
+	if t := q.tail.Get(tx); t == Nil {
+		q.head.Set(tx, n)
+	} else {
+		tx.Write(q.arena.Word(t, 0), n)
+	}
+	q.tail.Set(tx, n)
+	q.size.Set(tx, q.size.Get(tx)+1)
+}
+
+// TryTakeTx removes and returns the oldest element, or reports emptiness.
+func (q *Queue) TryTakeTx(tx *tm.Tx) (uint64, bool) {
+	h := q.head.Get(tx)
+	if h == Nil {
+		return 0, false
+	}
+	v := tx.Read(q.arena.Word(h, 1))
+	next := tx.Read(q.arena.Word(h, 0))
+	q.head.Set(tx, next)
+	if next == Nil {
+		q.tail.Set(tx, Nil)
+	}
+	q.arena.Free(tx, h)
+	q.size.Set(tx, q.size.Get(tx)-1)
+	return v, true
+}
+
+// TakeTx removes and returns the oldest element, descheduling until one
+// exists (Retry on the dynamic read set).
+func (q *Queue) TakeTx(tx *tm.Tx) uint64 {
+	v, ok := q.TryTakeTx(tx)
+	if !ok {
+		core.Retry(tx)
+	}
+	return v
+}
+
+// LenTx returns the current length.
+func (q *Queue) LenTx(tx *tm.Tx) int { return int(q.size.Get(tx)) }
+
+// Put appends v in its own transaction.
+func (q *Queue) Put(thr *tm.Thread, v uint64) {
+	thr.Atomic(func(tx *tm.Tx) { q.PutTx(tx, v) })
+}
+
+// Take removes the oldest element in its own transaction, blocking while
+// the queue is empty.
+func (q *Queue) Take(thr *tm.Thread) uint64 {
+	var v uint64
+	thr.Atomic(func(tx *tm.Tx) { v = q.TakeTx(tx) })
+	return v
+}
+
+// Len reports the length in its own transaction.
+func (q *Queue) Len(thr *tm.Thread) int {
+	var n int
+	thr.Atomic(func(tx *tm.Tx) { n = q.LenTx(tx) })
+	return n
+}

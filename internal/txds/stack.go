@@ -1,0 +1,72 @@
+package txds
+
+import (
+	"tmsync/internal/core"
+	"tmsync/internal/mem"
+	"tmsync/internal/tm"
+)
+
+// Stack is a transactional LIFO stack of word values over an Arena.
+// Node layout: word 0 = next index, word 1 = value.
+type Stack struct {
+	arena *Arena
+	top   mem.Var
+	size  mem.Var
+}
+
+// StackNodeWords is the arena node width a Stack requires.
+const StackNodeWords = 2
+
+// NewStack returns an empty stack drawing nodes from arena.
+func NewStack(arena *Arena) *Stack {
+	if arena.nodeWords != StackNodeWords {
+		panic("txds: stack arena must have 2 words per node")
+	}
+	return &Stack{arena: arena}
+}
+
+// PushTx pushes v, waiting for arena capacity if necessary.
+func (s *Stack) PushTx(tx *tm.Tx, v uint64) {
+	n := s.arena.Alloc(tx)
+	tx.Write(s.arena.Word(n, 1), v)
+	tx.Write(s.arena.Word(n, 0), s.top.Get(tx))
+	s.top.Set(tx, n)
+	s.size.Set(tx, s.size.Get(tx)+1)
+}
+
+// TryPopTx pops the newest element, or reports emptiness.
+func (s *Stack) TryPopTx(tx *tm.Tx) (uint64, bool) {
+	t := s.top.Get(tx)
+	if t == Nil {
+		return 0, false
+	}
+	v := tx.Read(s.arena.Word(t, 1))
+	s.top.Set(tx, tx.Read(s.arena.Word(t, 0)))
+	s.arena.Free(tx, t)
+	s.size.Set(tx, s.size.Get(tx)-1)
+	return v, true
+}
+
+// PopTx pops the newest element, descheduling until one exists.
+func (s *Stack) PopTx(tx *tm.Tx) uint64 {
+	v, ok := s.TryPopTx(tx)
+	if !ok {
+		core.Retry(tx)
+	}
+	return v
+}
+
+// LenTx returns the current depth.
+func (s *Stack) LenTx(tx *tm.Tx) int { return int(s.size.Get(tx)) }
+
+// Push pushes v in its own transaction.
+func (s *Stack) Push(thr *tm.Thread, v uint64) {
+	thr.Atomic(func(tx *tm.Tx) { s.PushTx(tx, v) })
+}
+
+// Pop pops in its own transaction, blocking while empty.
+func (s *Stack) Pop(thr *tm.Thread) uint64 {
+	var v uint64
+	thr.Atomic(func(tx *tm.Tx) { v = s.PopTx(tx) })
+	return v
+}
