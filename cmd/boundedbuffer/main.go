@@ -34,8 +34,16 @@ func main() {
 	threadCounts := []int{1, 2, 4, 8}
 	sizes := []int{4, 16, 128}
 	if *quick {
-		*ops = 1 << 14
-		*trials = 2
+		// -quick shrinks whatever the user did not set explicitly, so
+		// "-quick -ops 2048" means a quick grid at 2048 ops.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["ops"] {
+			*ops = 1 << 14
+		}
+		if !set["trials"] {
+			*trials = 2
+		}
 		threadCounts = []int{1, 2}
 	}
 	figure, ok := map[string]string{"eager": "2.3", "lazy": "2.4", "htm": "2.5"}[*engine]

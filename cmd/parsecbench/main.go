@@ -32,8 +32,16 @@ func main() {
 	}
 	threads := []int{1, 2, 3, 4, 5, 6, 7, 8}
 	if *quick {
-		*scale = 1
-		*trials = 2
+		// -quick shrinks whatever the user did not set explicitly, so
+		// "-quick -trials 1" means a quick grid with one trial.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["scale"] {
+			*scale = 1
+		}
+		if !set["trials"] {
+			*trials = 2
+		}
 		threads = []int{1, 2, 4}
 	}
 	figure, ok := map[string]string{"eager": "2.6", "lazy": "2.7", "htm": "2.8"}[*engine]

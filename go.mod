@@ -1,0 +1,3 @@
+module tmsync
+
+go 1.24

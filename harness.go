@@ -1,0 +1,54 @@
+package tmsync
+
+import (
+	"tmsync/internal/harness"
+	"tmsync/internal/mech"
+)
+
+// Differential checking: the cross-engine scenario harness of
+// internal/harness, re-exported so library users can validate their own
+// engine or mechanism changes the same way cmd/tmcheck does — run a
+// deterministic concurrent scenario under every engine × mechanism pair
+// and diff the observed final state against a sequential oracle.
+
+// Scenario is one deterministic concurrent program with a sequential
+// oracle, runnable under any engine × mechanism pair.
+type Scenario = harness.Scenario
+
+// ScenarioResult is the outcome of one engine × mechanism execution.
+type ScenarioResult = harness.Result
+
+// ScenarioObservation is a rendered snapshot of observable final state.
+type ScenarioObservation = harness.Observation
+
+// ScenarioGenConfig bounds GenerateScenario.
+type ScenarioGenConfig = harness.GenConfig
+
+// ScenarioReport aggregates results into pass/abort-rate tables.
+type ScenarioReport = harness.Report
+
+// Mechanism names one condition-synchronization technique.
+type Mechanism = mech.Mechanism
+
+// Mechanisms lists every mechanism in the paper's legend order.
+var Mechanisms = mech.All
+
+// GenerateScenario derives a complete random scenario from one seed; the
+// same seed always yields the same scenario, so failures replay from a
+// printed seed alone.
+func GenerateScenario(seed uint64, cfg ScenarioGenConfig) *Scenario {
+	return harness.Generate(seed, cfg)
+}
+
+// RunScenario executes s under all four engines × applicable mechanisms
+// and diffs each execution against the sequential oracle.
+func RunScenario(s *Scenario) []ScenarioResult { return harness.RunScenario(s) }
+
+// ParsecScenarios registers the eight PARSEC concurrency skeletons as
+// differential scenarios.
+func ParsecScenarios(threads, scale int) []*Scenario {
+	return harness.ParsecScenarios(threads, scale)
+}
+
+// DiffObservations returns the facts on which got deviates from want.
+func DiffObservations(want, got ScenarioObservation) []string { return harness.Diff(want, got) }

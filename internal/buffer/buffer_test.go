@@ -185,13 +185,27 @@ func runProducersConsumers(t *testing.T, sys *tm.System, m buffer.Mechanism, cap
 	}
 }
 
+// stressTotal scales a stress iteration count: full counts by default,
+// reduced short-mode variants so `go test -short` stays fast while still
+// exercising every code path.
+func stressTotal(full int) int {
+	if testing.Short() {
+		// Round to a multiple of 60 so the total stays divisible by every
+		// producer/consumer count the callers use.
+		s := full / 10
+		s -= s % 60
+		return max(s, 120)
+	}
+	return full
+}
+
 func TestProducerConsumerAllMechanisms(t *testing.T) {
 	for _, kind := range allEngines {
 		t.Run(kind, func(t *testing.T) {
 			for _, m := range mechsFor(kind) {
 				t.Run(string(m), func(t *testing.T) {
 					sys := newSys(kind)
-					runProducersConsumers(t, sys, m, 4, 2, 2, 2000)
+					runProducersConsumers(t, sys, m, 4, 2, 2, stressTotal(2000))
 				})
 			}
 		})
@@ -199,29 +213,23 @@ func TestProducerConsumerAllMechanisms(t *testing.T) {
 }
 
 func TestProducerConsumerImbalanced(t *testing.T) {
-	if testing.Short() {
-		t.Skip("stress")
-	}
 	for _, kind := range allEngines {
 		t.Run(kind, func(t *testing.T) {
 			for _, pc := range [][2]int{{1, 4}, {4, 1}} {
 				sys := newSys(kind)
-				runProducersConsumers(t, sys, buffer.Retry, 4, pc[0], pc[1], 2000)
+				runProducersConsumers(t, sys, buffer.Retry, 4, pc[0], pc[1], stressTotal(2000))
 			}
 		})
 	}
 }
 
 func TestTinyBufferHighContention(t *testing.T) {
-	if testing.Short() {
-		t.Skip("stress")
-	}
 	for _, kind := range allEngines {
 		t.Run(kind, func(t *testing.T) {
 			for _, m := range []buffer.Mechanism{buffer.Retry, buffer.WaitPred, buffer.Await, buffer.TMCondVar} {
 				t.Run(string(m), func(t *testing.T) {
 					sys := newSys(kind)
-					runProducersConsumers(t, sys, m, 1, 3, 3, 900)
+					runProducersConsumers(t, sys, m, 1, 3, 3, stressTotal(900))
 				})
 			}
 		})

@@ -1,0 +1,273 @@
+package harness
+
+import (
+	"fmt"
+
+	"tmsync/internal/mech"
+	"tmsync/internal/tm"
+)
+
+// GenConfig bounds the randomized scenario generator. Zero values pick
+// seed-derived defaults.
+type GenConfig struct {
+	// Threads fixes the worker count (default: seed-derived, 2–4).
+	Threads int
+	// Ops is the approximate number of operations per thread (default:
+	// seed-derived, 8–24).
+	Ops int
+	// InjectFault deliberately drops one committed operation from the
+	// executed program while leaving the oracle intact, so the harness's
+	// detection path itself can be exercised end to end.
+	InjectFault bool
+}
+
+// prng is splitmix64 — deterministic, seedable, and stable across Go
+// releases (math/rand's stream is not guaranteed), so a seed printed by a
+// failing run replays forever.
+type prng struct{ s uint64 }
+
+func (r *prng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+func (r *prng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Generate derives a complete scenario — world geometry, one program per
+// thread, oracle — from one seed. Programs are constructed so that every
+// interleaving terminates (see the deadlock-freedom notes inline) and the
+// oracle facts are interleaving-independent, which is exactly what makes
+// them comparable across engines and mechanisms.
+func Generate(seed uint64, cfg GenConfig) *Scenario {
+	r := &prng{s: seed}
+	sp := &spec{}
+	sp.threads = cfg.Threads
+	if sp.threads == 0 {
+		sp.threads = 2 + r.intn(3)
+	}
+	ops := cfg.Ops
+	if ops == 0 {
+		ops = 8 + r.intn(17)
+	}
+	sp.counters = 2 + r.intn(4)
+
+	// Choose the blocking structures. At least one is always present so
+	// every scenario exercises condition synchronization.
+	kinds := []opKind{opBufPut, opQueuePut, opStackPush}
+	for i := len(kinds) - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		kinds[i], kinds[j] = kinds[j], kinds[i]
+	}
+	kinds = kinds[:1+r.intn(3)]
+	if contains(kinds, opBufPut) {
+		sp.bufCap = 1 + r.intn(6)
+	}
+	sp.hasQueue = contains(kinds, opQueuePut)
+	sp.hasStack = contains(kinds, opStackPush)
+	sp.hasMap = r.intn(2) == 0
+
+	// Each thread is producer or consumer for exactly ONE blocking
+	// structure (plus non-blocking filler anywhere). Structures therefore
+	// form independent producer/consumer systems, which — with matched
+	// totals and leftovers bounded by capacity — cannot deadlock; mixing
+	// roles across structures in one thread could (A waits on what B
+	// produces only after B waits on what A produces later).
+	partitions := make([][]int, len(kinds))
+	for t := 0; t < sp.threads; t++ {
+		g := t % len(kinds)
+		partitions[g] = append(partitions[g], t)
+	}
+
+	sp.programs = make([][]op, sp.threads)
+	role := make([][]op, sp.threads) // ordered blocking-structure ops per thread
+
+	for g, members := range partitions {
+		kind := kinds[g]
+		if len(members) == 0 {
+			continue
+		}
+		if len(members) == 1 {
+			// A lone thread alternates put/get so its balance stays within
+			// any capacity; an optional trailing put leaves one element
+			// behind to diversify final lengths.
+			t := members[0]
+			pairs := max(1, ops/4)
+			seq := uint64(0)
+			for i := 0; i < pairs; i++ {
+				seq++
+				role[t] = append(role[t], op{kind: kind, a: encodeVal(t, seq)}, op{kind: takeKind(kind)})
+			}
+			if r.intn(2) == 0 {
+				seq++
+				role[t] = append(role[t], op{kind: kind, a: encodeVal(t, seq)})
+			}
+			continue
+		}
+		nprod := 1 + r.intn(len(members)-1)
+		producers, consumers := members[:nprod], members[nprod:]
+		total := 0
+		for _, t := range producers {
+			items := 1 + r.intn(max(1, ops/2))
+			for s := 1; s <= items; s++ {
+				role[t] = append(role[t], op{kind: kind, a: encodeVal(t, uint64(s))})
+			}
+			total += items
+		}
+		// Leftover elements stay in the structure at the end; for the
+		// bounded buffer they must fit, or the last producers would block
+		// forever with no consumer left to drain.
+		maxLeft := total
+		if kind == opBufPut && sp.bufCap < maxLeft {
+			maxLeft = sp.bufCap
+		}
+		if maxLeft > 3 {
+			maxLeft = 3
+		}
+		left := r.intn(maxLeft + 1)
+		gets := total - left
+		for i, t := range consumers {
+			n := gets / len(consumers)
+			if i == 0 {
+				n += gets % len(consumers)
+			}
+			for j := 0; j < n; j++ {
+				role[t] = append(role[t], op{kind: takeKind(kind)})
+			}
+		}
+	}
+
+	// Filler: commutative counter arithmetic and thread-partitioned map
+	// ops, interleaved deterministically with the role ops.
+	const keysPerThread = 3
+	if sp.hasMap {
+		sp.mapKeys = sp.threads * keysPerThread
+	}
+	for t := 0; t < sp.threads; t++ {
+		// One guaranteed counter op per thread, making the fault-injection
+		// target unconditional (injectFault drops a counter-add).
+		filler := []op{{kind: opCounterAdd, a: uint64(r.intn(sp.counters)), b: uint64(1 + r.intn(8))}}
+		nf := 1 + r.intn(max(1, ops/2))
+		for i := 0; i < nf; i++ {
+			switch r.intn(4) {
+			case 0, 1:
+				filler = append(filler, op{kind: opCounterAdd, a: uint64(r.intn(sp.counters)), b: uint64(1 + r.intn(8))})
+			case 2:
+				from := r.intn(sp.counters)
+				to := (from + 1 + r.intn(sp.counters-1)) % sp.counters
+				filler = append(filler, op{kind: opTransfer, a: uint64(from), b: uint64(to), c: uint64(1 + r.intn(4))})
+			case 3:
+				if sp.hasMap {
+					key := uint64(t*keysPerThread + r.intn(keysPerThread) + 1)
+					if r.intn(3) == 0 {
+						filler = append(filler, op{kind: opMapDel, a: key})
+					} else {
+						filler = append(filler, op{kind: opMapPut, a: key, b: r.next() % 1000})
+					}
+				} else {
+					filler = append(filler, op{kind: opCounterAdd, a: uint64(r.intn(sp.counters)), b: 1})
+				}
+			}
+		}
+		sp.programs[t] = weave(r, role[t], filler)
+	}
+
+	// Size the arenas so allocation pressure never blocks a producer
+	// (memory-pressure waits are tested separately in internal/txds; here
+	// they would entangle the per-structure deadlock-freedom argument).
+	sp.queueCap = len(producedValues(sp, opQueuePut)) + sp.threads + 1
+	sp.stackCap = len(producedValues(sp, opStackPush)) + sp.threads + 1
+	sp.mapCap = sp.mapKeys + sp.threads + 2
+
+	oracleObs := oracle(sp)
+
+	runSp := sp
+	if cfg.InjectFault {
+		runSp = injectFault(sp)
+	}
+
+	replay := ""
+	if cfg.Threads != 0 {
+		replay += fmt.Sprintf("-threads %d", cfg.Threads)
+	}
+	if cfg.Ops != 0 {
+		if replay != "" {
+			replay += " "
+		}
+		replay += fmt.Sprintf("-ops %d", cfg.Ops)
+	}
+
+	return &Scenario{
+		Name:       fmt.Sprintf("gen-%d", seed),
+		Seed:       seed,
+		Injected:   cfg.InjectFault,
+		ReplayArgs: replay,
+		Threads:    sp.threads,
+		Oracle:  func() Observation { return oracleObs },
+		Run: func(sys *tm.System, m mech.Mechanism) (Observation, error) {
+			return runSpec(runSp, sys, m)
+		},
+	}
+}
+
+// injectFault returns a copy of sp with the last counter-add of thread 0
+// dropped: the executed program then commits less than the oracle
+// expects, which a correct harness must flag on every engine × mechanism.
+func injectFault(sp *spec) *spec {
+	cp := *sp
+	cp.programs = make([][]op, len(sp.programs))
+	for i := range sp.programs {
+		cp.programs[i] = append([]op(nil), sp.programs[i]...)
+	}
+	for t := range cp.programs {
+		for i := len(cp.programs[t]) - 1; i >= 0; i-- {
+			if cp.programs[t][i].kind == opCounterAdd {
+				cp.programs[t] = append(cp.programs[t][:i], cp.programs[t][i+1:]...)
+				return &cp
+			}
+		}
+	}
+	return &cp
+}
+
+func takeKind(put opKind) opKind {
+	switch put {
+	case opBufPut:
+		return opBufGet
+	case opQueuePut:
+		return opQueueTake
+	case opStackPush:
+		return opStackPop
+	}
+	panic("harness: not a producer op")
+}
+
+func contains(ks []opKind, k opKind) bool {
+	for _, x := range ks {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}
+
+// weave merges two op lists into one program, preserving each list's
+// internal order, with a deterministic seed-derived interleaving.
+func weave(r *prng, a, b []op) []op {
+	out := make([]op, 0, len(a)+len(b))
+	for len(a) > 0 || len(b) > 0 {
+		if len(b) == 0 || (len(a) > 0 && r.intn(len(a)+len(b)) < len(a)) {
+			out = append(out, a[0])
+			a = a[1:]
+		} else {
+			out = append(out, b[0])
+			b = b[1:]
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"tmsync/internal/mech"
+	"tmsync/internal/stats"
+)
+
+// Report aggregates differential results into the per-engine (and per
+// engine × mechanism) pass/abort-rate tables cmd/tmcheck prints.
+type Report struct {
+	cells    map[string]*cell
+	failures []Result
+}
+
+type cell struct {
+	engine    string
+	mechanism mech.Mechanism
+	runs      int
+	passes    int
+	commits   uint64
+	aborts    uint64
+	rates     []float64 // per-run abort rates, summarized with stats
+}
+
+// Add folds a batch of results into the report.
+func (rep *Report) Add(results []Result) {
+	if rep.cells == nil {
+		rep.cells = make(map[string]*cell)
+	}
+	for i := range results {
+		r := &results[i]
+		key := r.Engine + "/" + string(r.Mech)
+		c := rep.cells[key]
+		if c == nil {
+			c = &cell{engine: r.Engine, mechanism: r.Mech}
+			rep.cells[key] = c
+		}
+		c.runs++
+		if r.Pass {
+			c.passes++
+		} else {
+			rep.failures = append(rep.failures, *r)
+		}
+		c.commits += r.Commits
+		c.aborts += r.Aborts
+		c.rates = append(c.rates, r.AbortRate)
+	}
+}
+
+// Failures returns every failed result, in insertion order.
+func (rep *Report) Failures() []Result { return rep.failures }
+
+// Runs returns the total number of executions folded in.
+func (rep *Report) Runs() int {
+	n := 0
+	for _, c := range rep.cells {
+		n += c.runs
+	}
+	return n
+}
+
+// AllPassed reports whether no execution deviated from its oracle.
+func (rep *Report) AllPassed() bool { return len(rep.failures) == 0 }
+
+// engineOrder ranks engines in the canonical evaluation order.
+func engineOrder(e string) int {
+	for i, x := range Engines {
+		if x == e {
+			return i
+		}
+	}
+	return len(Engines)
+}
+
+// EngineTable renders one row per engine: runs, passes, commit and abort
+// totals, and the abort rate across runs as mean±stddev (internal/stats).
+func (rep *Report) EngineTable() string {
+	agg := map[string]*cell{}
+	for _, c := range rep.cells {
+		a := agg[c.engine]
+		if a == nil {
+			a = &cell{engine: c.engine}
+			agg[a.engine] = a
+		}
+		a.runs += c.runs
+		a.passes += c.passes
+		a.commits += c.commits
+		a.aborts += c.aborts
+		a.rates = append(a.rates, c.rates...)
+	}
+	rows := make([]*cell, 0, len(agg))
+	for _, c := range agg {
+		rows = append(rows, c)
+	}
+	sort.Slice(rows, func(i, j int) bool { return engineOrder(rows[i].engine) < engineOrder(rows[j].engine) })
+	var t stats.Table
+	t.Header("engine", "pass", "commits", "aborts", "abort-rate")
+	for _, c := range rows {
+		t.Row(c.engine, fmt.Sprintf("%d/%d", c.passes, c.runs),
+			fmt.Sprintf("%d", c.commits), fmt.Sprintf("%d", c.aborts),
+			stats.Summarize(c.rates).String())
+	}
+	return t.String()
+}
+
+// MechTable renders the full engine × mechanism breakdown.
+func (rep *Report) MechTable() string {
+	rows := make([]*cell, 0, len(rep.cells))
+	for _, c := range rep.cells {
+		rows = append(rows, c)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if a, b := engineOrder(rows[i].engine), engineOrder(rows[j].engine); a != b {
+			return a < b
+		}
+		return rows[i].mechanism < rows[j].mechanism
+	})
+	var t stats.Table
+	t.Header("engine", "mechanism", "pass", "commits", "aborts", "abort-rate")
+	for _, c := range rows {
+		t.Row(c.engine, string(c.mechanism), fmt.Sprintf("%d/%d", c.passes, c.runs),
+			fmt.Sprintf("%d", c.commits), fmt.Sprintf("%d", c.aborts),
+			stats.Summarize(c.rates).String())
+	}
+	return t.String()
+}

@@ -3,6 +3,8 @@ package parsecsim
 import (
 	"fmt"
 	"sync/atomic"
+
+	"tmsync/internal/mech"
 )
 
 // workUnit is the deterministic arithmetic kernel standing in for the
@@ -56,6 +58,15 @@ var Benchmarks = []Benchmark{
 	{Name: "raytrace", SyncPoints: 3, ValidThreads: anyThreads, Run: runRaytrace},
 	{Name: "streamcluster", SyncPoints: 5, ValidThreads: evenThreads, Run: runStreamcluster},
 	{Name: "x264", SyncPoints: 1, ValidThreads: anyThreads, Run: runX264},
+}
+
+// Reference computes the benchmark's expected checksum at the given
+// scale from the trivially-correct configuration — the Pthreads baseline
+// on one thread. Every engine × mechanism × thread-count execution must
+// reproduce it exactly; the differential harness uses it as the
+// sequential oracle for the PARSEC scenarios.
+func (b *Benchmark) Reference(scale int) uint64 {
+	return b.Run(&Kit{Mech: mech.Pthreads}, 1, scale)
 }
 
 // ByName looks a benchmark up.

@@ -57,11 +57,14 @@ func TestChecksumThreadIndependentPthreads(t *testing.T) {
 }
 
 func TestAllMechanismsMatchReference(t *testing.T) {
+	// Short mode runs a reduced matrix (one engine) instead of skipping,
+	// so `go test -short` still exercises every mechanism × benchmark.
+	engines := []string{"eager", "lazy", "htm"}
 	if testing.Short() {
-		t.Skip("runs the full benchmark × mechanism × engine matrix")
+		engines = engines[:1]
 	}
 	ref := referenceChecksums(t, 1)
-	for _, engine := range []string{"eager", "lazy", "htm"} {
+	for _, engine := range engines {
 		t.Run(engine, func(t *testing.T) {
 			for _, m := range mech.ForEngine(engine) {
 				if m == mech.Pthreads {
@@ -85,12 +88,12 @@ func TestAllMechanismsMatchReference(t *testing.T) {
 }
 
 func TestHigherThreadCounts(t *testing.T) {
-	if testing.Short() {
-		t.Skip("stress")
-	}
 	ref := referenceChecksums(t, 1)
 	for _, b := range parsecsim.Benchmarks {
 		n := 4
+		if testing.Short() {
+			n = 2 // reduced short-mode variant
+		}
 		if !b.ValidThreads(n) {
 			continue
 		}

@@ -62,3 +62,47 @@ func Summarize(xs []float64) Summary {
 func (s Summary) String() string {
 	return fmt.Sprintf("%.4f±%.4f", s.Mean, s.Stddev)
 }
+
+// Table accumulates rows of text cells and renders them with aligned
+// columns — the plain-text report format behind cmd/tmcheck's
+// pass/abort-rate tables.
+type Table struct {
+	rows [][]string
+}
+
+// Header adds a header row.
+func (t *Table) Header(cells ...string) { t.rows = append(t.rows, cells) }
+
+// Row adds a data row.
+func (t *Table) Row(cells ...string) { t.rows = append(t.rows, cells) }
+
+// String renders the table with each column padded to its widest cell.
+func (t *Table) String() string {
+	widths := make([]int, 0, 8)
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i == len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b []byte
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i > 0 {
+				b = append(b, ' ', ' ')
+			}
+			b = append(b, c...)
+			if i < len(r)-1 {
+				for p := len(c); p < widths[i]; p++ {
+					b = append(b, ' ')
+				}
+			}
+		}
+		b = append(b, '\n')
+	}
+	return string(b)
+}

@@ -64,3 +64,17 @@ func TestMeanBoundsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTableAlignment(t *testing.T) {
+	var tb Table
+	tb.Header("engine", "pass", "abort-rate")
+	tb.Row("eager", "50/50", "0.12")
+	tb.Row("htm", "49/50", "0.30")
+	got := tb.String()
+	want := "engine  pass   abort-rate\n" +
+		"eager   50/50  0.12\n" +
+		"htm     49/50  0.30\n"
+	if got != want {
+		t.Errorf("Table.String() =\n%q\nwant\n%q", got, want)
+	}
+}

@@ -605,3 +605,19 @@ func TestOldValueFirstEntryWins(t *testing.T) {
 		t.Fatal("OldValue hit for unwritten address")
 	}
 }
+
+func TestStatsAttemptsAndAbortRate(t *testing.T) {
+	var s tm.Stats
+	if s.AbortRate() != 0 {
+		t.Fatalf("empty AbortRate = %v", s.AbortRate())
+	}
+	s.Commits.Add(6)
+	s.ROCommits.Add(2)
+	s.Aborts.Add(2)
+	if got := s.Attempts(); got != 10 {
+		t.Fatalf("Attempts = %d, want 10", got)
+	}
+	if got := s.AbortRate(); got != 0.2 {
+		t.Fatalf("AbortRate = %v, want 0.2", got)
+	}
+}

@@ -385,6 +385,22 @@ type Stats struct {
 	Serializations   atomic.Uint64
 }
 
+// Attempts returns the total number of finished transaction attempts
+// (commits, read-only commits, and aborts).
+func (s *Stats) Attempts() uint64 {
+	return s.Commits.Load() + s.ROCommits.Load() + s.Aborts.Load()
+}
+
+// AbortRate returns the fraction of attempts that aborted, in [0, 1].
+// The differential harness reports it per engine × mechanism.
+func (s *Stats) AbortRate() float64 {
+	n := s.Attempts()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Aborts.Load()) / float64(n)
+}
+
 // Snapshot returns a plain-value copy of the counters.
 func (s *Stats) Snapshot() map[string]uint64 {
 	return map[string]uint64{
@@ -639,7 +655,12 @@ func (t *Thread) Atomic(fn func(tx *Tx)) {
 			t.ActiveStart.Store(0)
 			tx.resetAfterAttempt(false)
 			// Immediate re-execution; the Restart baseline relies on the
-			// lack of backoff here.
+			// lack of backoff growth here. A bare processor yield is still
+			// required: without it a respinning reader starves the writer
+			// that would establish its precondition whenever goroutines
+			// outnumber cores (worst on a single-core box, where each
+			// respin burned a whole preemption quantum).
+			spinYield()
 		case attemptSignal:
 			t.Sys.Engine.Rollback(tx)
 			// Release exclusivity before the handler sleeps, or a

@@ -97,6 +97,18 @@ func (m *Map) DeleteTx(tx *tm.Tx, key uint64) bool {
 // LenTx returns the number of entries.
 func (m *Map) LenTx(tx *tm.Tx) int { return int(m.size.Get(tx)) }
 
+// SnapshotTx returns the map's entire contents (read-only state-snapshot
+// hook for the differential harness; cost is O(buckets + entries)).
+func (m *Map) SnapshotTx(tx *tm.Tx) map[uint64]uint64 {
+	out := make(map[uint64]uint64)
+	for b := 0; b < int(m.nb); b++ {
+		for n := m.buckets.Get(tx, b); n != Nil; n = tx.Read(m.arena.Word(n, 0)) {
+			out[tx.Read(m.arena.Word(n, 1))] = tx.Read(m.arena.Word(n, 2))
+		}
+	}
+	return out
+}
+
 // WaitForTx returns key's value, descheduling on a predicate — "key is
 // present" — until some transaction inserts it. Unrelated insertions do
 // not wake the waiter.

@@ -77,6 +77,26 @@ func (q *Queue) TakeTx(tx *tm.Tx) uint64 {
 // LenTx returns the current length.
 func (q *Queue) LenTx(tx *tm.Tx) int { return int(q.size.Get(tx)) }
 
+// HeadAddr returns the address of the head word. A Take that finds the
+// queue empty has necessarily read it, and the Put that un-empties the
+// queue necessarily writes it, so it is the right Await address for
+// "queue is non-empty" (differential harness and Await callers).
+func (q *Queue) HeadAddr() *uint64 { return q.head.Addr() }
+
+// SizeAddr returns the address of the size word (Await callers, tests).
+func (q *Queue) SizeAddr() *uint64 { return q.size.Addr() }
+
+// SnapshotTx returns the queued values in FIFO order (oldest first). It
+// is a read-only state-snapshot hook for the differential harness; cost
+// is O(len).
+func (q *Queue) SnapshotTx(tx *tm.Tx) []uint64 {
+	var out []uint64
+	for n := q.head.Get(tx); n != Nil; n = tx.Read(q.arena.Word(n, 0)) {
+		out = append(out, tx.Read(q.arena.Word(n, 1)))
+	}
+	return out
+}
+
 // Put appends v in its own transaction.
 func (q *Queue) Put(thr *tm.Thread, v uint64) {
 	thr.Atomic(func(tx *tm.Tx) { q.PutTx(tx, v) })

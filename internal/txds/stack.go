@@ -59,6 +59,21 @@ func (s *Stack) PopTx(tx *tm.Tx) uint64 {
 // LenTx returns the current depth.
 func (s *Stack) LenTx(tx *tm.Tx) int { return int(s.size.Get(tx)) }
 
+// TopAddr returns the address of the top word. A Pop that finds the stack
+// empty has read it and every Push writes it, so it is the right Await
+// address for "stack is non-empty".
+func (s *Stack) TopAddr() *uint64 { return s.top.Addr() }
+
+// SnapshotTx returns the stacked values top-first (read-only state-
+// snapshot hook for the differential harness).
+func (s *Stack) SnapshotTx(tx *tm.Tx) []uint64 {
+	var out []uint64
+	for n := s.top.Get(tx); n != Nil; n = tx.Read(s.arena.Word(n, 0)) {
+		out = append(out, tx.Read(s.arena.Word(n, 1)))
+	}
+	return out
+}
+
 // Push pushes v in its own transaction.
 func (s *Stack) Push(thr *tm.Thread, v uint64) {
 	thr.Atomic(func(tx *tm.Tx) { s.PushTx(tx, v) })

@@ -445,3 +445,68 @@ func TestComposedTransfer(t *testing.T) {
 		})
 	}
 }
+
+func TestSnapshotHooks(t *testing.T) {
+	sys := newSys("lazy")
+	thr := sys.NewThread()
+
+	q := txds.NewQueue(txds.NewArena(8, txds.QueueNodeWords))
+	for _, v := range []uint64{10, 20, 30} {
+		q.Put(thr, v)
+	}
+	s := txds.NewStack(txds.NewArena(8, txds.StackNodeWords))
+	for _, v := range []uint64{1, 2, 3} {
+		s.Push(thr, v)
+	}
+	m := txds.NewMap(txds.NewArena(8, txds.MapNodeWords), 4)
+	m.Put(thr, 7, 70)
+	m.Put(thr, 8, 80)
+
+	thr.Atomic(func(tx *tm.Tx) {
+		qs := q.SnapshotTx(tx)
+		if len(qs) != 3 || qs[0] != 10 || qs[1] != 20 || qs[2] != 30 {
+			t.Errorf("queue snapshot = %v, want [10 20 30]", qs)
+		}
+		ss := s.SnapshotTx(tx)
+		if len(ss) != 3 || ss[0] != 3 || ss[1] != 2 || ss[2] != 1 {
+			t.Errorf("stack snapshot = %v, want [3 2 1]", ss)
+		}
+		ms := m.SnapshotTx(tx)
+		if len(ms) != 2 || ms[7] != 70 || ms[8] != 80 {
+			t.Errorf("map snapshot = %v", ms)
+		}
+	})
+
+	// The wait-address hooks must point at words the blocking paths read
+	// and the unblocking ops write.
+	thr.Atomic(func(tx *tm.Tx) {
+		if tx.Read(q.HeadAddr()) == txds.Nil {
+			t.Error("non-empty queue has Nil head")
+		}
+		if tx.Read(q.SizeAddr()) != 3 {
+			t.Errorf("queue size word = %d", tx.Read(q.SizeAddr()))
+		}
+		if tx.Read(s.TopAddr()) == txds.Nil {
+			t.Error("non-empty stack has Nil top")
+		}
+	})
+}
+
+func TestSnapshotEmptyStructures(t *testing.T) {
+	sys := newSys("eager")
+	thr := sys.NewThread()
+	q := txds.NewQueue(txds.NewArena(4, txds.QueueNodeWords))
+	s := txds.NewStack(txds.NewArena(4, txds.StackNodeWords))
+	m := txds.NewMap(txds.NewArena(4, txds.MapNodeWords), 2)
+	thr.Atomic(func(tx *tm.Tx) {
+		if got := q.SnapshotTx(tx); len(got) != 0 {
+			t.Errorf("empty queue snapshot = %v", got)
+		}
+		if got := s.SnapshotTx(tx); len(got) != 0 {
+			t.Errorf("empty stack snapshot = %v", got)
+		}
+		if got := m.SnapshotTx(tx); len(got) != 0 {
+			t.Errorf("empty map snapshot = %v", got)
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package tmsync_test
+
+// Smoke tests for the runnable surfaces of the repository: every program
+// under examples/ and cmd/ is compiled once and executed with a small
+// workload, so a refactor of the engines or mechanisms cannot silently
+// break a run path no unit test happens to cover. Each run asserts exit
+// status 0 and, where the program prints a verdict, the expected marker
+// in its output.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildDir compiles every main package once per test binary invocation.
+var buildDir struct {
+	path string
+	err  error
+	done bool
+}
+
+func smokeBinaries(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	if !buildDir.done {
+		buildDir.done = true
+		dir, err := os.MkdirTemp("", "tmsync-smoke")
+		if err != nil {
+			buildDir.err = err
+		} else {
+			buildDir.path = dir
+			cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator), "./...")
+			cmd.Dir = repoRoot(t)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildDir.err = &buildError{out: string(out), err: err}
+			}
+		}
+	}
+	if buildDir.err != nil {
+		t.Fatalf("building binaries: %v", buildDir.err)
+	}
+	return buildDir.path
+}
+
+type buildError struct {
+	out string
+	err error
+}
+
+func (e *buildError) Error() string { return e.err.Error() + "\n" + e.out }
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+// runSmoke executes one built binary with args and returns its output.
+func runSmoke(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	bin := filepath.Join(smokeBinaries(t), name)
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = repoRoot(t) // cmd/loctable reads the repo sources
+	done := make(chan struct{})
+	var out []byte
+	var err error
+	go func() {
+		out, err = cmd.CombinedOutput()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		_ = cmd.Process.Kill()
+		t.Fatalf("%s %v: wedged", name, args)
+	}
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestSmokeExamples(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring the run must print
+	}{
+		{"quickstart", []string{"-engine", "eager"}, "OK"},
+		{"barrier", []string{"-engine", "htm", "-workers", "2", "-rounds", "20"}, ""},
+		{"compose", []string{"-engine", "lazy"}, "consumed"},
+		{"pipeline", []string{"-engine", "hybrid", "-items", "300", "-workers", "2"}, ""},
+		{"datastructures", []string{"-engine", "eager", "-jobs", "40", "-workers", "2"}, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out := runSmoke(t, c.name, c.args...)
+			if c.want != "" && !strings.Contains(out, c.want) {
+				t.Errorf("output lacks %q:\n%s", c.want, out)
+			}
+			lower := strings.ToLower(out)
+			for _, bad := range []string{"panic", "wedged", "mismatch"} {
+				if strings.Contains(lower, bad) {
+					t.Errorf("output contains %q:\n%s", bad, out)
+				}
+			}
+		})
+	}
+}
+
+func TestSmokeCommands(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"tmcheck", []string{"-n", "3", "-seed", "1"}, "OK: every engine x mechanism pair matched"},
+		{"tmcheck", []string{"-n", "1", "-seed", "2", "-inject"}, "OK: all injected violations caught"},
+		{"tmstress", []string{"-engine", "hybrid", "-mech", "retry", "-threads", "4", "-seconds", "0.3", "-cap", "2"}, "OK"},
+		{"boundedbuffer", []string{"-quick", "-engine", "eager", "-ops", "2048", "-trials", "1"}, "bounded buffer performance"},
+		{"parsecbench", []string{"-quick", "-engine", "lazy", "-trials", "1", "-bench", "dedup"}, "dedup"},
+		{"loctable", nil, "bodytrack"},
+	}
+	for _, c := range cases {
+		name := c.name + strings.Join(c.args, "_")
+		t.Run(name, func(t *testing.T) {
+			out := runSmoke(t, c.name, c.args...)
+			if !strings.Contains(out, c.want) {
+				t.Errorf("%s output lacks %q:\n%s", c.name, c.want, out)
+			}
+		})
+	}
+}
