@@ -1,0 +1,129 @@
+// Command tmbench is the seeded benchmark pipeline: it sweeps every TM
+// engine × condition-synchronization mechanism over the repository's
+// workloads (lane-partitioned bounded buffer + the eight PARSEC
+// concurrency skeletons) across a goroutine ladder, runs a bounded-buffer
+// stripe sweep (1 stripe versus 64) to measure the post-commit wakeup
+// cost the sharded orec table removes, and writes one machine-readable
+// JSON report (schema tmsync-bench/1; see README "Benchmark pipeline").
+//
+// Usage:
+//
+//	go run ./cmd/tmbench -seed 1 -threads 1,2,4,8          # full sweep -> BENCH_PR2.json
+//	go run ./cmd/tmbench -quick -out /tmp/bench.json       # reduced ops (CI, smoke)
+//	go run ./cmd/tmbench -workloads buffer -mechs retry    # narrow the axes
+//
+// Exit status is non-zero if any workload self-check fails (a PARSEC
+// checksum deviating from its sequential reference) or the report cannot
+// be written.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tmsync/internal/mech"
+	"tmsync/internal/perf"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "seed for produced value streams (recorded in the report)")
+	threadsFlag := flag.String("threads", "1,2,4,8", "comma-separated goroutine counts")
+	enginesFlag := flag.String("engines", "", "comma-separated engines (default: all four)")
+	mechsFlag := flag.String("mechs", "", "comma-separated mechanisms (default: all TM mechanisms)")
+	workloadsFlag := flag.String("workloads", "", "comma-separated workloads (default: buffer + all parsec/<name>)")
+	ops := flag.Int("ops", 0, "bounded-buffer operations per worker (0 = default)")
+	bufCap := flag.Int("cap", 0, "bounded-buffer capacity per lane (0 = default)")
+	scale := flag.Int("scale", 0, "PARSEC workload scale (0 = default)")
+	trials := flag.Int("trials", 1, "trials per cell; each is one report point")
+	sweepFlag := flag.String("sweep-stripes", "1,64", "stripe counts for the bounded-buffer stripe sweep")
+	noBaseline := flag.Bool("no-baseline", false, "skip the Pthreads lock+condvar baseline rows")
+	quick := flag.Bool("quick", false, "reduced operation counts (CI and smoke tests)")
+	out := flag.String("out", "BENCH_PR2.json", "output path for the JSON report")
+	verbose := flag.Bool("v", false, "per-point progress lines")
+	flag.Parse()
+
+	o := perf.Options{
+		Seed:         *seed,
+		Threads:      parseInts(*threadsFlag, "threads"),
+		BufferOps:    *ops,
+		BufferCap:    *bufCap,
+		Scale:        *scale,
+		Trials:       *trials,
+		SweepStripes: parseInts(*sweepFlag, "sweep-stripes"),
+		Baseline:     !*noBaseline,
+	}
+	if *enginesFlag != "" {
+		o.Engines = strings.Split(*enginesFlag, ",")
+	}
+	if *mechsFlag != "" {
+		for _, m := range strings.Split(*mechsFlag, ",") {
+			o.Mechs = append(o.Mechs, mech.Mechanism(m))
+		}
+	}
+	if *workloadsFlag != "" {
+		o.Workloads = strings.Split(*workloadsFlag, ",")
+	}
+	if *quick {
+		if o.BufferOps == 0 {
+			o.BufferOps = 100
+		}
+		if o.Scale == 0 {
+			o.Scale = 1
+		}
+	}
+	if *verbose {
+		o.Progress = func(done, total int, p perf.Point) {
+			fmt.Printf("[%4d/%4d] %-20s %-7s %-10s t=%d stripes=%d %.3fs\n",
+				done, total, p.Workload, p.Engine, p.Mech, p.Threads, p.Stripes, p.Seconds)
+		}
+	}
+
+	rep, err := perf.Run(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tmbench:", err)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tmbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "tmbench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark report: %d points + %d stripe-sweep points -> %s\n",
+		len(rep.Points), len(rep.StripeSweep), *out)
+	if v := rep.StripeVerdict; v != nil {
+		fmt.Printf("stripe sweep (%s, %d goroutines): wakeup checks per commit %.2f @ %d stripe(s) vs %.2f @ %d stripes\n",
+			v.Workload, v.Threads, v.WakeupsPerCommitLow, v.LowStripes, v.WakeupsPerCommitHigh, v.HighStripes)
+		if v.Improved {
+			fmt.Println("stripe verdict: IMPROVED (sharded wakeup index visits fewer waiters per commit)")
+		} else {
+			fmt.Println("stripe verdict: no improvement measured on this run")
+		}
+	}
+}
+
+func parseInts(s, flagName string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "tmbench: bad -%s entry %q\n", flagName, part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}

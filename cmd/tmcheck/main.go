@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"tmsync/internal/harness"
+	"tmsync/internal/locktable"
 	"tmsync/internal/mech"
 )
 
@@ -36,12 +37,18 @@ func main() {
 	ops := flag.Int("ops", 0, "approx ops per thread (0 = seed-derived 8-24)")
 	budget := flag.Duration("budget", 0, "stop starting new scenarios after this much time (0 = no budget)")
 	engine := flag.String("engine", "", "restrict to one engine (default: all four)")
+	stripes := flag.Int("stripes", 0, "orec-table stripe count for every system (0 = default); any power of two must yield identical outcomes")
 	only := flag.String("mech", "", "restrict to one mechanism (default: all applicable)")
 	parsec := flag.Bool("parsec", false, "check the eight PARSEC skeletons instead of random scenarios")
 	scale := flag.Int("scale", 1, "PARSEC workload scale (with -parsec)")
 	inject := flag.Bool("inject", false, "inject a deliberate invariant violation into every scenario; exit 0 iff all are caught")
 	verbose := flag.Bool("v", false, "per-scenario progress and the engine × mechanism breakdown")
 	flag.Parse()
+
+	if *stripes < 0 || (*stripes > 0 && *stripes&(*stripes-1) != 0) || *stripes > locktable.DefaultSize {
+		fmt.Fprintf(os.Stderr, "tmcheck: -stripes %d must be a power of two in [1, %d] (or 0 for the default)\n", *stripes, locktable.DefaultSize)
+		os.Exit(2)
+	}
 
 	if *parsec && *inject {
 		// Fault injection rewrites generated programs; the PARSEC
@@ -70,7 +77,7 @@ func main() {
 	scenarios := 0
 
 	runOne := func(s *harness.Scenario) {
-		results := harness.RunScenarioOn(s, engines, mech.Mechanism(*only))
+		results := harness.RunScenarioKnobs(s, engines, mech.Mechanism(*only), harness.Knobs{Stripes: *stripes})
 		rep.Add(results)
 		scenarios++
 		failed := 0

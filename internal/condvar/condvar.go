@@ -112,6 +112,7 @@ func (v *Var) Wait(tx *tm.Tx) {
 	tx.Frees = tx.Frees[:0]
 	tx.Mallocs = tx.Mallocs[:0]
 	tx.Thr.LastWriteOrecs = append(tx.Thr.LastWriteOrecs[:0], tx.WriteOrecs...)
+	tx.Thr.LastWriteStripes = append(tx.Thr.LastWriteStripes[:0], tx.WriteStripes...)
 	deferred := tx.OnCommit
 	tx.OnCommit = nil
 	panic(waitSignal{v: v, w: w, wrote: wrote, deferred: deferred})

@@ -17,6 +17,7 @@ package core
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"tmsync/internal/locktable"
 	"tmsync/internal/spin"
@@ -37,6 +38,13 @@ type Waiter struct {
 	Args    []uint64
 	Waitset []tm.AddrVal
 
+	// shards lists the waiter-index shards (orec-table stripes) this
+	// waiter is registered on, derived from the waitset's addresses at
+	// insertion. Empty for unindexed waiters (no waitset: an arbitrary
+	// WaitPred predicate can read anything, so every committing writer
+	// must re-evaluate it). Written before publication, immutable after.
+	shards []uint32
+
 	// asleep is true from publication until a waker (or the waiter
 	// itself, deciding not to sleep) claims the wakeup with a CAS;
 	// exactly one Signal is issued per sleep cycle.
@@ -51,11 +59,38 @@ type origWaiter struct {
 	orecs map[uint32]struct{}
 }
 
+// waiterShard is one shard of the waiter index: the waiters whose
+// waitsets touch one orec-table stripe.
+type waiterShard struct {
+	mu      spin.Lock
+	waiters []*Waiter
+}
+
+// paddedShard keeps adjacent shards on distinct cache lines, so that
+// committing writers registering and scanning disjoint stripes do not
+// contend on shard metadata.
+type paddedShard struct {
+	waiterShard
+	_ [(64 - unsafe.Sizeof(waiterShard{})%64) % 64]byte
+}
+
 // CondSync is the condition-synchronization runtime attached to one
 // tm.System.
 type CondSync struct {
 	sys *tm.System
 
+	// shards is the per-stripe waiter index, one shard per orec-table
+	// stripe: a waiter with a waitset registers on exactly the stripes
+	// covering its waitset addresses, and a committing writer visits only
+	// the shards of stripes in its write set (Algorithm 4's wakeup made
+	// O(write set) instead of O(waiters)). A one-stripe table degenerates
+	// to the old single global list, which the differential harness uses
+	// to prove the index observably equivalent.
+	shards []paddedShard
+
+	// mu/waiters is the unindexed list: waiters without a waitset
+	// (WaitPred's arbitrary predicates) can depend on any location, so
+	// every committing writer re-evaluates them.
 	mu      spin.Lock
 	waiters []*Waiter
 
@@ -70,7 +105,7 @@ type CondSync struct {
 // the post-commit wakeWaiters hook. It must be called once, before any
 // transactions run.
 func Enable(sys *tm.System) *CondSync {
-	cs := &CondSync{sys: sys}
+	cs := &CondSync{sys: sys, shards: make([]paddedShard, sys.Table.NumStripes())}
 	sys.Ext = cs
 	sys.PostCommit = cs.postCommit
 	return cs
@@ -85,28 +120,92 @@ func For(tx *tm.Tx) *CondSync {
 	return cs
 }
 
+// shardsOf maps a waitset to the deduplicated set of waiter-index shards
+// covering its addresses. The count is bounded by the stripe count, and
+// waitsets touch few stripes, so a linear dedup beats a map.
+func (cs *CondSync) shardsOf(ws []tm.AddrVal) []uint32 {
+	var out []uint32
+	tbl := cs.sys.Table
+	for i := range ws {
+		s := tbl.StripeOf(tbl.IndexOf(ws[i].Addr))
+		dup := false
+		for _, x := range out {
+			if x == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// insert publishes a waiter: indexed waiters register on every shard their
+// waitset touches (a writer that changes a waitset value necessarily
+// writes an address covered by one of those stripes, so no wakeup can be
+// missed); waiters without a waitset go to the unindexed list scanned by
+// every committing writer.
 func (cs *CondSync) insert(w *Waiter) {
-	cs.mu.Lock()
-	cs.waiters = append(cs.waiters, w)
-	cs.mu.Unlock()
+	w.shards = cs.shardsOf(w.Waitset)
+	if len(w.shards) == 0 {
+		cs.mu.Lock()
+		cs.waiters = append(cs.waiters, w)
+		cs.mu.Unlock()
+		return
+	}
+	for _, s := range w.shards {
+		sh := &cs.shards[s].waiterShard
+		sh.mu.Lock()
+		sh.waiters = append(sh.waiters, w)
+		sh.mu.Unlock()
+	}
+}
+
+func removeFrom(ws []*Waiter, w *Waiter) []*Waiter {
+	for i, x := range ws {
+		if x == w {
+			ws[i] = ws[len(ws)-1]
+			ws[len(ws)-1] = nil
+			return ws[:len(ws)-1]
+		}
+	}
+	return ws
 }
 
 func (cs *CondSync) remove(w *Waiter) {
-	cs.mu.Lock()
-	for i, x := range cs.waiters {
-		if x == w {
-			cs.waiters[i] = cs.waiters[len(cs.waiters)-1]
-			cs.waiters = cs.waiters[:len(cs.waiters)-1]
-			break
-		}
+	if len(w.shards) == 0 {
+		cs.mu.Lock()
+		cs.waiters = removeFrom(cs.waiters, w)
+		cs.mu.Unlock()
+		return
 	}
-	cs.mu.Unlock()
+	for _, s := range w.shards {
+		sh := &cs.shards[s].waiterShard
+		sh.mu.Lock()
+		sh.waiters = removeFrom(sh.waiters, w)
+		sh.mu.Unlock()
+	}
 }
 
-// snapshot makes the shallow copy of the waiting list that wakeWaiters
-// iterates (Algorithm 4, wakeWaiters line 1), avoiding contention with
-// concurrent inserts while predicates are evaluated.
-func (cs *CondSync) snapshot() []*Waiter {
+// snapshotShard makes the shallow copy of one shard's waiting list that
+// wakeWaiters iterates (Algorithm 4, wakeWaiters line 1), avoiding
+// contention with concurrent inserts while predicates are evaluated.
+func (sh *waiterShard) snapshot() []*Waiter {
+	sh.mu.Lock()
+	if len(sh.waiters) == 0 {
+		sh.mu.Unlock()
+		return nil
+	}
+	out := make([]*Waiter, len(sh.waiters))
+	copy(out, sh.waiters)
+	sh.mu.Unlock()
+	return out
+}
+
+// snapshotUnindexed copies the unindexed (no-waitset) waiting list.
+func (cs *CondSync) snapshotUnindexed() []*Waiter {
 	cs.mu.Lock()
 	if len(cs.waiters) == 0 {
 		cs.mu.Unlock()
@@ -118,46 +217,112 @@ func (cs *CondSync) snapshot() []*Waiter {
 	return out
 }
 
-// WaitingLen reports the current number of published waiters (tests).
+// WaitingLen reports the current number of distinct published waiters
+// (tests). A waiter whose waitset spans several stripes is registered on
+// each, so the shard lists are deduplicated.
 func (cs *CondSync) WaitingLen() int {
+	seen := make(map[*Waiter]struct{})
 	cs.mu.Lock()
-	n := len(cs.waiters)
+	for _, w := range cs.waiters {
+		seen[w] = struct{}{}
+	}
 	cs.mu.Unlock()
-	return n
+	for i := range cs.shards {
+		sh := &cs.shards[i].waiterShard
+		sh.mu.Lock()
+		for _, w := range sh.waiters {
+			seen[w] = struct{}{}
+		}
+		sh.mu.Unlock()
+	}
+	return len(seen)
 }
 
 // postCommit is installed as the system's PostCommit hook; it runs on the
 // committing thread strictly after the writer's effects are visible.
+//
+// The predicate evaluations inside wakeWaiters run nested read-only
+// transactions on this same thread, and every commit — including a
+// read-only one — truncates t.LastWriteOrecs/LastWriteStripes to its own
+// (empty) write set. Both slice headers are therefore captured up front;
+// the backing arrays stay intact because the nested transactions append
+// nothing (predicates must not write).
 func (cs *CondSync) postCommit(t *tm.Thread) {
-	cs.wakeWaiters(t)
-	cs.origWake(t)
+	writeOrecs := t.LastWriteOrecs
+	writeStripes := t.LastWriteStripes
+	cs.wakeWaiters(t, writeStripes)
+	cs.origWake(t, writeOrecs)
 }
 
-// wakeWaiters implements the bottom half of Algorithm 4: for each entry in
-// a snapshot of the waiting list, evaluate its predicate in a fresh
-// (read-only, hardware-friendly) transaction; if the waiter should wake,
-// claim it with a CAS and signal its semaphore outside the transaction
-// (deferred semaphore operations, line 9).
-func (cs *CondSync) wakeWaiters(t *tm.Thread) {
-	for _, w := range cs.snapshot() {
-		if !w.asleep.Load() {
-			continue
+// wakeWaiters implements the bottom half of Algorithm 4, indexed by
+// stripe: visit the waiter shards of exactly the stripes the committed
+// write set touched — a waiter whose waitset is disjoint from the write
+// set shares no stripe with it and is never examined — plus the unindexed
+// list. Should a writer commit ever fail to record its stripes, fall back
+// to scanning every shard rather than risk a lost wakeup.
+func (cs *CondSync) wakeWaiters(t *tm.Thread, touched []uint32) {
+	if len(touched) == 0 {
+		cs.wakeAllShards(t)
+		return
+	}
+	var seen map[*Waiter]struct{}
+	for _, s := range touched {
+		for _, w := range cs.shards[s].snapshot() {
+			if len(touched) > 1 && len(w.shards) > 1 {
+				// Registered on several touched stripes: visit once.
+				if seen == nil {
+					seen = make(map[*Waiter]struct{}, 8)
+				}
+				if _, dup := seen[w]; dup {
+					continue
+				}
+				seen[w] = struct{}{}
+			}
+			cs.tryWake(t, w)
 		}
-		should := false
-		t.Atomic(func(tx *tm.Tx) {
-			should = w.asleep.Load() && w.Pred(tx, w.Args)
-		})
-		if should && w.asleep.CompareAndSwap(true, false) {
-			w.Thr.Sem.Signal()
+	}
+	for _, w := range cs.snapshotUnindexed() {
+		cs.tryWake(t, w)
+	}
+}
+
+// wakeAllShards is the conservative full scan (also the exact behaviour of
+// a one-stripe table).
+func (cs *CondSync) wakeAllShards(t *tm.Thread) {
+	for i := range cs.shards {
+		for _, w := range cs.shards[i].snapshot() {
+			cs.tryWake(t, w)
 		}
+	}
+	for _, w := range cs.snapshotUnindexed() {
+		cs.tryWake(t, w)
+	}
+}
+
+// tryWake evaluates one sleeping waiter's predicate in a fresh (read-only,
+// hardware-friendly) transaction; if the waiter should wake, claim it with
+// a CAS and signal its semaphore outside the transaction (deferred
+// semaphore operations, Algorithm 4 line 9).
+func (cs *CondSync) tryWake(t *tm.Thread, w *Waiter) {
+	if !w.asleep.Load() {
+		return
+	}
+	cs.sys.Stats.WakeChecks.Add(1)
+	should := false
+	t.Atomic(func(tx *tm.Tx) {
+		should = w.asleep.Load() && w.Pred(tx, w.Args)
+	})
+	if should && w.asleep.CompareAndSwap(true, false) {
+		w.Thr.Sem.Signal()
 	}
 }
 
 // origWake implements Algorithm 1's TxCommit lines 10–15: intersect the
-// just-committed writer's lock set with each sleeping transaction's read
-// metadata and wake on overlap.
-func (cs *CondSync) origWake(t *tm.Thread) {
-	if len(t.LastWriteOrecs) == 0 {
+// just-committed writer's lock set (captured by postCommit before any
+// nested predicate transaction could truncate it) with each sleeping
+// transaction's read metadata and wake on overlap.
+func (cs *CondSync) origWake(t *tm.Thread, writeOrecs []uint32) {
+	if len(writeOrecs) == 0 {
 		return
 	}
 	cs.origMu.Lock()
@@ -168,7 +333,7 @@ func (cs *CondSync) origWake(t *tm.Thread) {
 	for i := 0; i < len(cs.origWaiters); {
 		ow := cs.origWaiters[i]
 		hit := false
-		for _, idx := range t.LastWriteOrecs {
+		for _, idx := range writeOrecs {
 			if _, ok := ow.orecs[idx]; ok {
 				hit = true
 				break

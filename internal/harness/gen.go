@@ -1,7 +1,9 @@
 package harness
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 
 	"tmsync/internal/mech"
 	"tmsync/internal/tm"
@@ -207,12 +209,51 @@ func Generate(seed uint64, cfg GenConfig) *Scenario {
 		Seed:       seed,
 		Injected:   cfg.InjectFault,
 		ReplayArgs: replay,
+		Digest:     runSp.digest(),
 		Threads:    sp.threads,
-		Oracle:  func() Observation { return oracleObs },
+		Oracle:     func() Observation { return oracleObs },
 		Run: func(sys *tm.System, m mech.Mechanism) (Observation, error) {
 			return runSpec(runSp, sys, m)
 		},
 	}
+}
+
+// digest fingerprints the spec: FNV-1a over the world geometry and every
+// program op, in a fixed field order. Stable across Go releases (no map
+// iteration, no math/rand), so golden digests pin generator behaviour.
+func (sp *spec) digest() string {
+	h := fnv.New64a()
+	word := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	b2u := func(b bool) uint64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	word(uint64(sp.threads))
+	word(uint64(sp.counters))
+	word(uint64(sp.bufCap))
+	word(b2u(sp.hasQueue))
+	word(b2u(sp.hasStack))
+	word(b2u(sp.hasMap))
+	word(uint64(sp.mapKeys))
+	word(uint64(sp.queueCap))
+	word(uint64(sp.stackCap))
+	word(uint64(sp.mapCap))
+	for _, prog := range sp.programs {
+		word(uint64(len(prog)))
+		for _, o := range prog {
+			word(uint64(o.kind))
+			word(o.a)
+			word(o.b)
+			word(o.c)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // injectFault returns a copy of sp with the last counter-add of thread 0

@@ -40,20 +40,37 @@ import (
 // package re-exports this harness and asserts parity in its tests).
 var Engines = []string{"eager", "lazy", "htm", "hybrid"}
 
+// Knobs is optional per-run system configuration, used by differential
+// sweeps over performance-only parameters (which must not change any
+// observable outcome) and by the benchmark pipeline.
+type Knobs struct {
+	// Stripes overrides the orec-table stripe count (0 = default).
+	Stripes int
+}
+
 // NewSystem builds a TM system for the named engine with condition
 // synchronization enabled, mirroring tmsync.New without importing the
 // root package (which re-exports this one).
 func NewSystem(engine string) (*tm.System, error) {
+	return NewSystemKnobs(engine, Knobs{})
+}
+
+// NewSystemKnobs is NewSystem with explicit performance knobs.
+func NewSystemKnobs(engine string, k Knobs) (*tm.System, error) {
+	cfg := tm.Config{Stripes: k.Stripes}
 	var sys *tm.System
 	switch engine {
 	case "eager":
-		sys = tm.NewSystem(tm.Config{Quiesce: true}, eager.New)
+		cfg.Quiesce = true
+		sys = tm.NewSystem(cfg, eager.New)
 	case "lazy":
-		sys = tm.NewSystem(tm.Config{Quiesce: true}, lazy.New)
+		cfg.Quiesce = true
+		sys = tm.NewSystem(cfg, lazy.New)
 	case "htm":
-		sys = tm.NewSystem(tm.Config{}, htm.New)
+		sys = tm.NewSystem(cfg, htm.New)
 	case "hybrid":
-		sys = tm.NewSystem(tm.Config{Quiesce: true}, hybrid.New)
+		cfg.Quiesce = true
+		sys = tm.NewSystem(cfg, hybrid.New)
 	default:
 		return nil, fmt.Errorf("harness: unknown engine %q", engine)
 	}
@@ -128,6 +145,12 @@ type Scenario struct {
 	// regenerate this exact scenario, e.g. "-threads 8 -ops 100" when the
 	// generator ran with explicit overrides. Empty when defaults suffice.
 	ReplayArgs string
+	// Digest fingerprints a generated scenario's complete program (world
+	// geometry plus every thread's op sequence). Generator drift — any
+	// change that silently re-rolls what a pinned seed covers — changes
+	// the digest, which golden-seed regression tests pin. Empty for
+	// registered (non-generated) workloads.
+	Digest string
 	// Threads is the number of concurrent workers the program uses.
 	Threads int
 	// Mechs lists the mechanisms the scenario can run under on the given
@@ -149,11 +172,11 @@ type Result struct {
 	Injected   bool
 	ReplayArgs string
 	Engine     string
-	Mech     mech.Mechanism
-	Pass     bool
-	Diff     []string // oracle mismatches, if any
-	Err      error    // invariant violation or wedge, if any
-	Duration time.Duration
+	Mech       mech.Mechanism
+	Pass       bool
+	Diff       []string // oracle mismatches, if any
+	Err        error    // invariant violation or wedge, if any
+	Duration   time.Duration
 
 	// Aggregate engine counters for the run (fresh system per run).
 	Commits   uint64
@@ -198,6 +221,13 @@ func RunScenario(s *Scenario) []Result {
 // RunScenarioOn is RunScenario restricted to the given engines and, when
 // only is non-empty, to one mechanism.
 func RunScenarioOn(s *Scenario, engines []string, only mech.Mechanism) []Result {
+	return RunScenarioKnobs(s, engines, only, Knobs{})
+}
+
+// RunScenarioKnobs is RunScenarioOn with explicit performance knobs for
+// every system it builds — the entry point for proving that a knob (e.g.
+// the stripe count) is observably inert across the whole scenario suite.
+func RunScenarioKnobs(s *Scenario, engines []string, only mech.Mechanism, k Knobs) []Result {
 	oracle := s.Oracle()
 	mechs := s.Mechs
 	if mechs == nil {
@@ -209,15 +239,15 @@ func RunScenarioOn(s *Scenario, engines []string, only mech.Mechanism) []Result 
 			if only != "" && m != only {
 				continue
 			}
-			out = append(out, runOne(s, oracle, engine, m))
+			out = append(out, runOne(s, oracle, engine, m, k))
 		}
 	}
 	return out
 }
 
-func runOne(s *Scenario, oracle Observation, engine string, m mech.Mechanism) Result {
+func runOne(s *Scenario, oracle Observation, engine string, m mech.Mechanism, k Knobs) Result {
 	res := Result{Scenario: s.Name, Seed: s.Seed, Injected: s.Injected, ReplayArgs: s.ReplayArgs, Engine: engine, Mech: m}
-	sys, err := NewSystem(engine)
+	sys, err := NewSystemKnobs(engine, k)
 	if err != nil {
 		res.Err = err
 		return res

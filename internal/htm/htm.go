@@ -168,6 +168,12 @@ func (e *Engine) Read(tx *tm.Tx, addr *uint64) uint64 {
 // Write implements tm.Engine.
 func (e *Engine) Write(tx *tm.Tx, addr *uint64, val uint64) {
 	if tx.Mode == tm.ModeSerial {
+		// Serial-mode stores bypass orec acquisition (the section runs
+		// alone), but the post-commit wakeup still needs to know which
+		// stripes the write set covers, so record the covering orec's
+		// stripe (deduplicated) here. The orec itself is not logged:
+		// LastWriteOrecs feeds only Retry-Orig, which this engine rejects.
+		tx.NoteWriteStripe(e.sys.Table.IndexOf(addr))
 		tx.Undo = append(tx.Undo, tm.UndoEntry{Addr: addr, Old: atomic.LoadUint64(addr)})
 		atomic.StoreUint64(addr, val)
 		return
@@ -216,12 +222,16 @@ func (e *Engine) Commit(tx *tm.Tx) {
 			tx.Abort(tm.AbortConflict)
 		}
 		tx.Locks = append(tx.Locks, idx)
+		tx.NoteWriteStripe(idx)
 	}
 	end := e.sys.Clock.Inc()
 	if end != tx.Start+1 && !e.validateReads(tx) {
 		t.HWActive.Store(false)
 		tx.Abort(tm.AbortConflict)
 	}
+	// WriteOrecs stays empty: it feeds only Retry-Orig, which this engine
+	// rejects, and an empty lock-set snapshot lets origWake return without
+	// touching its global lock. Wakeups ride on WriteStripes instead.
 	// Eager invalidation: doom concurrent hardware transactions whose
 	// signature may overlap our write set. This is what makes read-only
 	// wakeWaiters transactions abort under writer pressure (§2.4.1).

@@ -174,6 +174,7 @@ func (e *Engine) Commit(tx *tm.Tx) {
 			tx.Abort(tm.AbortConflict)
 		}
 		tx.Locks = append(tx.Locks, idx)
+		tx.NoteWriteStripe(idx)
 	}
 	end := e.sys.Clock.Inc()
 	if end != tx.Start+1 && !e.validateReads(tx) {

@@ -7,6 +7,7 @@ package locktable
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 	"unsafe"
 )
@@ -71,47 +72,112 @@ func LockedBy(owner, version uint64) uint64 {
 // UnlockedAt builds the word for an unlocked orec with the given version.
 func UnlockedAt(version uint64) uint64 { return version << versionShift }
 
-// Table is a fixed-size, power-of-two array of orecs. Distinct addresses
-// may hash to the same orec (false conflicts), exactly as in word-based STM.
-type Table struct {
-	mask  uintptr
+// cacheLine is the assumed coherence granularity. Stripes are padded to
+// it so that metadata of adjacent stripes never shares a line.
+const cacheLine = 64
+
+// stripe is one shard of the table: its own orec array, separately
+// allocated so that hot orecs of different stripes live on different cache
+// lines, with the header padded out to a line boundary.
+type stripe struct {
 	orecs []atomic.Uint64
+	_     [(cacheLine - unsafe.Sizeof([]atomic.Uint64(nil))%cacheLine) % cacheLine]byte
+}
+
+// Table is a fixed-size, power-of-two array of orecs, sharded into a
+// power-of-two number of cache-line-padded stripes. Distinct addresses may
+// hash to the same orec (false conflicts), exactly as in word-based STM.
+// Slot indexes remain global (0..Len-1); each stripe owns one contiguous
+// range of Len/NumStripes slots, so StripeOf is a shift and the stripes
+// partition the slot space exactly.
+type Table struct {
+	mask        uintptr
+	stripeShift uint32 // slot >> stripeShift = stripe id
+	slotMask    uint32 // slot & slotMask = index within the stripe
+	stripes     []stripe
 }
 
 // DefaultSize is the default number of orecs (1<<16, 512 KiB).
 const DefaultSize = 1 << 16
 
-// New returns a table with size orecs; size must be a power of two.
+// DefaultStripes is the default stripe count. 64 stripes keep the
+// per-commit wakeup index small while still spreading independent
+// structures across distinct stripes with high probability.
+const DefaultStripes = 64
+
+// New returns a table with size orecs and the default stripe count
+// (clamped to size for tiny tables); size must be a power of two.
 func New(size int) *Table {
+	stripes := DefaultStripes
+	if size < stripes {
+		stripes = size
+	}
+	return NewSharded(size, stripes)
+}
+
+// NewSharded returns a table with size orecs split into the given number
+// of stripes. Both must be powers of two, with 1 <= stripes <= size.
+func NewSharded(size, stripes int) *Table {
 	if size <= 0 || size&(size-1) != 0 {
 		panic(fmt.Sprintf("locktable: size %d is not a positive power of two", size))
 	}
-	return &Table{mask: uintptr(size - 1), orecs: make([]atomic.Uint64, size)}
+	if stripes <= 0 || stripes&(stripes-1) != 0 {
+		panic(fmt.Sprintf("locktable: stripe count %d is not a positive power of two", stripes))
+	}
+	if stripes > size {
+		panic(fmt.Sprintf("locktable: stripe count %d exceeds table size %d", stripes, size))
+	}
+	per := size / stripes
+	t := &Table{
+		mask:        uintptr(size - 1),
+		stripeShift: uint32(bits.TrailingZeros(uint(per))),
+		slotMask:    uint32(per - 1),
+		stripes:     make([]stripe, stripes),
+	}
+	for i := range t.stripes {
+		t.stripes[i].orecs = make([]atomic.Uint64, per)
+	}
+	return t
 }
 
 // Len returns the number of orecs in the table.
-func (t *Table) Len() int { return len(t.orecs) }
+func (t *Table) Len() int { return len(t.stripes) * len(t.stripes[0].orecs) }
+
+// NumStripes returns the number of stripes.
+func (t *Table) NumStripes() int { return len(t.stripes) }
+
+// StripeLen returns the number of orec slots per stripe.
+func (t *Table) StripeLen() int { return len(t.stripes[0].orecs) }
+
+// StripeOf returns the stripe owning slot idx. Every slot belongs to
+// exactly one stripe, and the same address always maps to the same stripe
+// (IndexOf is a pure function of the address).
+func (t *Table) StripeOf(idx uint32) uint32 { return idx >> t.stripeShift }
 
 // IndexOf returns the table slot covering addr. Word-aligned addresses are
 // mixed with a Fibonacci multiplier so that adjacent words land on
-// different orecs.
+// different orecs (and, with high probability, on different stripes).
 func (t *Table) IndexOf(addr *uint64) uint32 {
 	p := uintptr(unsafe.Pointer(addr)) >> 3
 	p *= 0x9e3779b97f4a7c15 & ^uintptr(0)
 	return uint32((p >> 16) & t.mask)
 }
 
+func (t *Table) slot(idx uint32) *atomic.Uint64 {
+	return &t.stripes[idx>>t.stripeShift].orecs[idx&t.slotMask]
+}
+
 // Get returns the orec word for slot idx.
-func (t *Table) Get(idx uint32) uint64 { return t.orecs[idx].Load() }
+func (t *Table) Get(idx uint32) uint64 { return t.slot(idx).Load() }
 
 // CAS attempts to transition slot idx from old to new.
 func (t *Table) CAS(idx uint32, old, new uint64) bool {
-	return t.orecs[idx].CompareAndSwap(old, new)
+	return t.slot(idx).CompareAndSwap(old, new)
 }
 
 // Set unconditionally stores word w into slot idx. Only the lock owner may
 // do this (release paths).
-func (t *Table) Set(idx uint32, w uint64) { t.orecs[idx].Store(w) }
+func (t *Table) Set(idx uint32, w uint64) { t.slot(idx).Store(w) }
 
 // ForAddr returns the orec word covering addr.
 func (t *Table) ForAddr(addr *uint64) uint64 { return t.Get(t.IndexOf(addr)) }

@@ -1,0 +1,545 @@
+// Package perf is the seeded benchmark pipeline behind BENCH_PR2.json:
+// a sweep driver that runs every TM engine × condition-synchronization
+// mechanism over the repository's workloads (the lane-partitioned bounded
+// buffer and the eight PARSEC concurrency skeletons) across a ladder of
+// goroutine counts, from a fixed seed, and emits one machine-readable
+// report per invocation. The report is the performance trajectory later
+// PRs diff against: throughput, abort rate, and — the quantity the
+// sharded orec table exists to shrink — wakeup-scan work per commit.
+//
+// Every run also self-checks: PARSEC checksums are diffed against the
+// sequential reference, so a benchmark that silently computes the wrong
+// thing fails instead of reporting a meaningless number.
+package perf
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"tmsync/internal/buffer"
+	"tmsync/internal/harness"
+	"tmsync/internal/locktable"
+	"tmsync/internal/mech"
+	"tmsync/internal/parsecsim"
+	"tmsync/internal/tm"
+)
+
+// Schema identifies the report layout; bump on incompatible change.
+const Schema = "tmsync-bench/1"
+
+// Options parameterizes one sweep. Zero values select defaults.
+type Options struct {
+	// Seed feeds the produced value streams; recorded in the report so a
+	// run can be reproduced exactly.
+	Seed uint64
+	// Threads is the goroutine-count ladder (default 1, 2, 4, 8).
+	Threads []int
+	// Engines restricts the engine axis (default: all four).
+	Engines []string
+	// Mechs restricts the mechanism axis (default: all TM mechanisms;
+	// the Pthreads baseline is always measured once per workload cell).
+	Mechs []mech.Mechanism
+	// Workloads restricts the workload axis (default: Workloads()).
+	Workloads []string
+	// BufferOps is the number of operations each bounded-buffer worker
+	// performs (default 2000).
+	BufferOps int
+	// BufferCap is the per-lane buffer capacity (default 4; small, so
+	// workers block often and condition synchronization is exercised).
+	BufferCap int
+	// Scale is the PARSEC workload scale (default 2).
+	Scale int
+	// Trials repeats every cell (default 1); each trial is one point.
+	Trials int
+	// SweepStripes is the stripe-count axis of the bounded-buffer stripe
+	// sweep (default {1, 64}: the global table versus the sharded one).
+	SweepStripes []int
+	// Baseline includes the Pthreads lock+condvar baseline per workload.
+	Baseline bool
+	// Progress, when set, receives one call per completed point.
+	Progress func(done, total int, p Point)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Threads) == 0 {
+		o.Threads = []int{1, 2, 4, 8}
+	}
+	if len(o.Engines) == 0 {
+		o.Engines = harness.Engines
+	}
+	if len(o.Mechs) == 0 {
+		o.Mechs = mech.TM
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = Workloads()
+	}
+	if o.BufferOps == 0 {
+		o.BufferOps = 2000
+	}
+	if o.BufferCap == 0 {
+		o.BufferCap = 4
+	}
+	if o.Scale == 0 {
+		o.Scale = 2
+	}
+	if o.Trials == 0 {
+		o.Trials = 1
+	}
+	if len(o.SweepStripes) == 0 {
+		o.SweepStripes = []int{1, 64}
+	}
+	return o
+}
+
+// Workloads lists every workload name: the bounded buffer plus the eight
+// PARSEC skeletons.
+func Workloads() []string {
+	out := []string{"buffer"}
+	for i := range parsecsim.Benchmarks {
+		out = append(out, "parsec/"+parsecsim.Benchmarks[i].Name)
+	}
+	return out
+}
+
+// Point is one measured cell: workload × engine × mechanism × goroutine
+// count (× stripe count, for the stripe sweep).
+type Point struct {
+	Workload string `json:"workload"`
+	Engine   string `json:"engine"` // "none" for the Pthreads baseline
+	Mech     string `json:"mech"`
+	Threads  int    `json:"threads"`
+	// Stripes is the orec-table stripe count (0 = engine default).
+	Stripes int `json:"stripes,omitempty"`
+	Trial   int `json:"trial"`
+
+	Seconds float64 `json:"seconds"`
+	// Ops counts application-level operations where the workload defines
+	// them (bounded buffer: puts+gets); 0 for checksum workloads.
+	Ops uint64 `json:"ops,omitempty"`
+	// Throughput is Ops/Seconds when Ops is known (buffer); for checksum
+	// workloads it is workload runs per second (inverse wall time), which
+	// stays comparable across engines, mechanisms, and the Pthreads
+	// baseline.
+	Throughput float64 `json:"throughput_per_sec"`
+
+	Commits     uint64  `json:"commits"`
+	ROCommits   uint64  `json:"ro_commits"`
+	Aborts      uint64  `json:"aborts"`
+	AbortRate   float64 `json:"abort_rate"`
+	Deschedules uint64  `json:"deschedules"`
+	// Wakeups counts semaphore wakeups delivered to sleeping waiters.
+	Wakeups uint64 `json:"wakeups"`
+	// WakeChecks counts sleeping waiters visited by post-commit wakeup
+	// scans — the O(waiters)-versus-O(write set) scan work the stripe
+	// index eliminates.
+	WakeChecks uint64 `json:"wake_checks"`
+	// WakeupsPerCommit is WakeChecks per writer commit: the wakeup-scan
+	// cost a committing writer pays.
+	WakeupsPerCommit float64 `json:"wakeups_per_commit"`
+	// SignalsPerCommit is delivered wakeups per writer commit.
+	SignalsPerCommit float64 `json:"signals_per_commit"`
+	// Checksum is the workload checksum (PARSEC kernels), verified
+	// against the sequential reference before the point is recorded.
+	Checksum uint64 `json:"checksum,omitempty"`
+}
+
+// StripeVerdict summarizes the stripe sweep at the highest goroutine
+// count: aggregate wakeup-scan work per commit under the fewest versus the
+// most stripes. Improved is the PR's headline claim — sharding makes the
+// post-commit wakeup cheaper.
+type StripeVerdict struct {
+	Workload             string  `json:"workload"`
+	Threads              int     `json:"threads"`
+	LowStripes           int     `json:"low_stripes"`
+	HighStripes          int     `json:"high_stripes"`
+	WakeupsPerCommitLow  float64 `json:"wakeups_per_commit_low_stripes"`
+	WakeupsPerCommitHigh float64 `json:"wakeups_per_commit_high_stripes"`
+	Improved             bool    `json:"improved"`
+}
+
+// Report is the machine-readable result of one sweep (BENCH_PR2.json).
+type Report struct {
+	Schema        string         `json:"schema"`
+	Generated     string         `json:"generated"`
+	Seed          uint64         `json:"seed"`
+	Threads       []int          `json:"threads"`
+	Engines       []string       `json:"engines"`
+	Mechs         []string       `json:"mechs"`
+	Workloads     []string       `json:"workloads"`
+	BufferOps     int            `json:"buffer_ops"`
+	BufferCap     int            `json:"buffer_cap"`
+	Scale         int            `json:"scale"`
+	SweepStripes  []int          `json:"sweep_stripes"`
+	Points        []Point        `json:"points"`
+	StripeSweep   []Point        `json:"stripe_sweep"`
+	StripeVerdict *StripeVerdict `json:"stripe_verdict,omitempty"`
+}
+
+// mechRuns reports whether mechanism m runs on engine e.
+func mechRuns(e string, m mech.Mechanism) bool {
+	for _, x := range mech.ForEngine(e) {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the sweep. It fails fast on any workload self-check
+// failure (a PARSEC checksum deviating from the sequential reference).
+func Run(o Options) (*Report, error) {
+	o = o.withDefaults()
+	for _, s := range o.SweepStripes {
+		if s <= 0 || s&(s-1) != 0 || s > locktable.DefaultSize {
+			return nil, fmt.Errorf("perf: stripe count %d must be a power of two in [1, %d]", s, locktable.DefaultSize)
+		}
+	}
+	for _, w := range o.Workloads {
+		switch {
+		case w == "buffer":
+		case strings.HasPrefix(w, "parsec/"):
+			if _, err := parsecsim.ByName(strings.TrimPrefix(w, "parsec/")); err != nil {
+				return nil, fmt.Errorf("perf: %w", err)
+			}
+		default:
+			return nil, fmt.Errorf("perf: unknown workload %q (have %s)", w, strings.Join(Workloads(), ", "))
+		}
+	}
+	rep := &Report{
+		Schema:       Schema,
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		Seed:         o.Seed,
+		Threads:      o.Threads,
+		Engines:      o.Engines,
+		Workloads:    o.Workloads,
+		BufferOps:    o.BufferOps,
+		BufferCap:    o.BufferCap,
+		Scale:        o.Scale,
+		SweepStripes: o.SweepStripes,
+	}
+	for _, m := range o.Mechs {
+		rep.Mechs = append(rep.Mechs, string(m))
+	}
+
+	type cell struct {
+		workload string
+		engine   string
+		m        mech.Mechanism
+		threads  int
+		stripes  int
+		sweep    bool
+	}
+	var cells []cell
+	for _, w := range o.Workloads {
+		for _, threads := range o.Threads {
+			if !validThreads(w, threads) {
+				continue
+			}
+			if o.Baseline {
+				cells = append(cells, cell{workload: w, engine: "none", m: mech.Pthreads, threads: threads})
+			}
+			for _, e := range o.Engines {
+				for _, m := range o.Mechs {
+					if m == mech.Pthreads || !mechRuns(e, m) {
+						continue
+					}
+					cells = append(cells, cell{workload: w, engine: e, m: m, threads: threads})
+				}
+			}
+		}
+	}
+	// Stripe sweep: the bounded buffer under the waitset-indexed
+	// mechanisms (Retry and Await register waiters on the stripes of
+	// their waitsets; WaitPred is unindexed by construction and TMCondVar
+	// bypasses the waiter index entirely).
+	maxThreads := 0
+	for _, t := range o.Threads {
+		if t > maxThreads {
+			maxThreads = t
+		}
+	}
+	sweepWorkload := "buffer"
+	if maxThreads >= 2 && hasWorkload(o.Workloads, sweepWorkload) {
+		for _, stripes := range o.SweepStripes {
+			for _, e := range o.Engines {
+				for _, m := range []mech.Mechanism{mech.Retry, mech.Await} {
+					cells = append(cells, cell{workload: sweepWorkload, engine: e, m: m, threads: maxThreads, stripes: stripes, sweep: true})
+				}
+			}
+		}
+	}
+
+	total := len(cells) * o.Trials
+	done := 0
+	for _, c := range cells {
+		for trial := 0; trial < o.Trials; trial++ {
+			p, err := runCell(c.workload, c.engine, c.m, c.threads, c.stripes, trial, o)
+			if err != nil {
+				return nil, fmt.Errorf("perf: %s %s/%s t=%d: %w", c.workload, c.engine, c.m, c.threads, err)
+			}
+			if c.sweep {
+				rep.StripeSweep = append(rep.StripeSweep, p)
+			} else {
+				rep.Points = append(rep.Points, p)
+			}
+			done++
+			if o.Progress != nil {
+				o.Progress(done, total, p)
+			}
+		}
+	}
+	rep.StripeVerdict = verdict(rep.StripeSweep, sweepWorkload, maxThreads, o.SweepStripes)
+	return rep, nil
+}
+
+// verdict aggregates the sweep's wakeup-scan work per commit at the low
+// and high stripe counts.
+func verdict(sweep []Point, workload string, threads int, stripes []int) *StripeVerdict {
+	if len(sweep) == 0 || len(stripes) < 2 {
+		return nil
+	}
+	low, high := stripes[0], stripes[0]
+	for _, s := range stripes {
+		if s < low {
+			low = s
+		}
+		if s > high {
+			high = s
+		}
+	}
+	rate := func(want int) float64 {
+		var checks, commits uint64
+		for _, p := range sweep {
+			if p.Workload == workload && p.Threads == threads && p.Stripes == want {
+				checks += p.WakeChecks
+				commits += p.Commits
+			}
+		}
+		if commits == 0 {
+			return 0
+		}
+		return float64(checks) / float64(commits)
+	}
+	v := &StripeVerdict{
+		Workload:             workload,
+		Threads:              threads,
+		LowStripes:           low,
+		HighStripes:          high,
+		WakeupsPerCommitLow:  rate(low),
+		WakeupsPerCommitHigh: rate(high),
+	}
+	v.Improved = v.WakeupsPerCommitHigh < v.WakeupsPerCommitLow
+	return v
+}
+
+func hasWorkload(ws []string, w string) bool {
+	for _, x := range ws {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}
+
+func validThreads(workload string, threads int) bool {
+	if !strings.HasPrefix(workload, "parsec/") {
+		return true
+	}
+	b, err := parsecsim.ByName(strings.TrimPrefix(workload, "parsec/"))
+	if err != nil {
+		return false
+	}
+	return b.ValidThreads(threads)
+}
+
+func runCell(workload, engine string, m mech.Mechanism, threads, stripes, trial int, o Options) (Point, error) {
+	if workload == "buffer" {
+		return runBuffer(engine, m, threads, stripes, trial, o)
+	}
+	if strings.HasPrefix(workload, "parsec/") {
+		return runParsec(strings.TrimPrefix(workload, "parsec/"), engine, m, threads, stripes, trial, o)
+	}
+	return Point{}, fmt.Errorf("unknown workload %q", workload)
+}
+
+// fill finalizes a point from the (possibly nil, for Pthreads) system's
+// counters. Throughput is defined here and only here: ops/second when
+// the workload counts operations, otherwise workload runs per second
+// (inverse wall time) — the one metric comparable across engines,
+// mechanisms, and the Pthreads baseline (which has no commit counters).
+func fill(p *Point, sys *tm.System, secs float64) {
+	p.Seconds = secs
+	if secs > 0 {
+		if p.Ops > 0 {
+			p.Throughput = float64(p.Ops) / secs
+		} else {
+			p.Throughput = 1 / secs
+		}
+	}
+	if sys == nil {
+		return
+	}
+	s := &sys.Stats
+	p.Commits = s.Commits.Load()
+	p.ROCommits = s.ROCommits.Load()
+	p.Aborts = s.Aborts.Load()
+	p.AbortRate = s.AbortRate()
+	p.Deschedules = s.Deschedules.Load()
+	p.Wakeups = s.Wakeups.Load()
+	p.WakeChecks = s.WakeChecks.Load()
+	if p.Commits > 0 {
+		p.WakeupsPerCommit = float64(p.WakeChecks) / float64(p.Commits)
+		p.SignalsPerCommit = float64(p.Wakeups) / float64(p.Commits)
+	}
+}
+
+// runBuffer measures the lane-partitioned bounded buffer: goroutine pairs
+// (one producer, one consumer) each own an independent small buffer, so
+// at higher thread counts the workload contains genuinely disjoint
+// producer/consumer systems — the structure whose post-commit wakeups the
+// stripe index localizes. A lone goroutine alternates put/get and never
+// blocks; an odd straggler alternates on lane 0.
+func runBuffer(engine string, m mech.Mechanism, threads, stripes, trial int, o Options) (Point, error) {
+	p := Point{Workload: "buffer", Engine: engine, Mech: string(m), Threads: threads, Stripes: stripes, Trial: trial}
+	ops := o.BufferOps
+	lanes := threads / 2
+	if lanes < 1 {
+		lanes = 1
+	}
+
+	if m == mech.Pthreads {
+		bufs := make([]*buffer.LockBuffer, lanes)
+		for i := range bufs {
+			bufs[i] = buffer.NewLock(o.BufferCap)
+		}
+		var wg sync.WaitGroup
+		start := time.Now()
+		forBufferWorkers(threads, lanes, &wg, func(worker, lane int, produce, consume bool) {
+			b := bufs[lane]
+			for i := 0; i < ops; i++ {
+				if produce {
+					b.Put(o.Seed + uint64(worker)<<32 + uint64(i))
+				}
+				if consume {
+					b.Get()
+				}
+			}
+		})
+		wg.Wait()
+		p.Ops = bufferOpsTotal(threads, lanes, ops)
+		fill(&p, nil, time.Since(start).Seconds())
+		return p, nil
+	}
+
+	sys, err := harness.NewSystemKnobs(engine, harness.Knobs{Stripes: stripes})
+	if err != nil {
+		return Point{}, err
+	}
+	bufs := make([]*buffer.TMBuffer, lanes)
+	for i := range bufs {
+		bufs[i] = buffer.NewTM(o.BufferCap)
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	forBufferWorkers(threads, lanes, &wg, func(worker, lane int, produce, consume bool) {
+		thr := sys.NewThread()
+		b := bufs[lane]
+		for i := 0; i < ops; i++ {
+			if produce {
+				b.PutMech(thr, m, o.Seed+uint64(worker)<<32+uint64(i))
+			}
+			if consume {
+				b.GetMech(thr, m)
+			}
+		}
+	})
+	wg.Wait()
+	p.Ops = bufferOpsTotal(threads, lanes, ops)
+	fill(&p, sys, time.Since(start).Seconds())
+	return p, nil
+}
+
+// forBufferWorkers launches the worker topology: lanes producer/consumer
+// pairs plus, when threads is odd (including 1), one alternator that both
+// produces and consumes on lane 0 and therefore never deadlocks.
+func forBufferWorkers(threads, lanes int, wg *sync.WaitGroup, body func(worker, lane int, produce, consume bool)) {
+	spawn := func(worker, lane int, produce, consume bool) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body(worker, lane, produce, consume)
+		}()
+	}
+	if threads == 1 {
+		spawn(0, 0, true, true)
+		return
+	}
+	for l := 0; l < lanes; l++ {
+		spawn(l, l, true, false)
+		spawn(lanes+l, l, false, true)
+	}
+	if threads%2 == 1 {
+		spawn(2*lanes, 0, true, true)
+	}
+}
+
+func bufferOpsTotal(threads, lanes, ops int) uint64 {
+	if threads == 1 {
+		return uint64(2 * ops)
+	}
+	total := uint64(2*lanes) * uint64(ops)
+	if threads%2 == 1 {
+		total += uint64(2 * ops)
+	}
+	return total
+}
+
+// refMu guards the per-(benchmark, scale) reference checksum cache.
+var refMu sync.Mutex
+var refCache = map[string]uint64{}
+
+func referenceFor(b *parsecsim.Benchmark, scale int) uint64 {
+	key := fmt.Sprintf("%s/%d", b.Name, scale)
+	refMu.Lock()
+	defer refMu.Unlock()
+	if v, ok := refCache[key]; ok {
+		return v
+	}
+	v := b.Reference(scale)
+	refCache[key] = v
+	return v
+}
+
+// runParsec measures one PARSEC concurrency skeleton and verifies its
+// checksum against the sequential reference.
+func runParsec(name, engine string, m mech.Mechanism, threads, stripes, trial int, o Options) (Point, error) {
+	b, err := parsecsim.ByName(name)
+	if err != nil {
+		return Point{}, err
+	}
+	p := Point{Workload: "parsec/" + name, Engine: engine, Mech: string(m), Threads: threads, Stripes: stripes, Trial: trial}
+	k := &parsecsim.Kit{Mech: m}
+	var sys *tm.System
+	if m != mech.Pthreads {
+		sys, err = harness.NewSystemKnobs(engine, harness.Knobs{Stripes: stripes})
+		if err != nil {
+			return Point{}, err
+		}
+		k.Sys = sys
+	}
+	want := referenceFor(b, o.Scale)
+	start := time.Now()
+	cs := b.Run(k, threads, o.Scale)
+	secs := time.Since(start).Seconds()
+	if cs != want {
+		return Point{}, fmt.Errorf("checksum %x deviates from sequential reference %x", cs, want)
+	}
+	p.Checksum = cs
+	fill(&p, sys, secs)
+	return p, nil
+}

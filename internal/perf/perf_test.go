@@ -1,0 +1,153 @@
+package perf
+
+import (
+	"encoding/json"
+	"testing"
+
+	"tmsync/internal/mech"
+)
+
+// TestSweepSmoke runs a tiny sweep over every engine and checks the
+// report's shape: full axis coverage, valid JSON, sane counters.
+func TestSweepSmoke(t *testing.T) {
+	rep, err := Run(Options{
+		Seed:      1,
+		Threads:   []int{1, 2},
+		Workloads: []string{"buffer", "parsec/dedup"},
+		BufferOps: 50,
+		Scale:     1,
+		Baseline:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != Schema {
+		t.Errorf("schema %q", rep.Schema)
+	}
+	engines := map[string]bool{}
+	mechs := map[string]bool{}
+	for _, p := range rep.Points {
+		engines[p.Engine] = true
+		mechs[p.Mech] = true
+		if p.Seconds < 0 {
+			t.Errorf("%s %s/%s: negative duration", p.Workload, p.Engine, p.Mech)
+		}
+		if p.Engine != "none" && p.Commits == 0 && p.ROCommits == 0 {
+			t.Errorf("%s %s/%s t=%d: no transactions committed", p.Workload, p.Engine, p.Mech, p.Threads)
+		}
+	}
+	for _, e := range []string{"eager", "lazy", "htm", "hybrid", "none"} {
+		if !engines[e] {
+			t.Errorf("engine %s missing from the sweep", e)
+		}
+	}
+	for _, m := range mech.TM {
+		if !mechs[string(m)] {
+			t.Errorf("mechanism %s missing from the sweep", m)
+		}
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report does not round-trip through JSON: %v", err)
+	}
+	if len(back.Points) != len(rep.Points) {
+		t.Fatalf("round-trip lost points: %d != %d", len(back.Points), len(rep.Points))
+	}
+}
+
+// TestUnknownWorkloadRejectedUpFront: a typo in a workload name must fail
+// the run immediately, not silently produce an empty report (CI would
+// upload it as the trajectory artifact).
+func TestUnknownWorkloadRejectedUpFront(t *testing.T) {
+	for _, w := range []string{"parsec/raytrcae", "bufffer"} {
+		if _, err := Run(Options{Workloads: []string{w}}); err == nil {
+			t.Errorf("workload %q accepted; want an error", w)
+		}
+	}
+	if _, err := Run(Options{SweepStripes: []int{3}}); err == nil {
+		t.Error("non-power-of-two sweep stripes accepted; want an error")
+	}
+}
+
+// TestParsecBaselineHasThroughput: the Pthreads baseline rows must carry a
+// comparable throughput metric (inverse wall time), not a meaningless 0.
+func TestParsecBaselineHasThroughput(t *testing.T) {
+	rep, err := Run(Options{
+		Threads:   []int{2},
+		Engines:   []string{"eager"},
+		Mechs:     []mech.Mechanism{mech.Retry},
+		Workloads: []string{"parsec/x264"},
+		Scale:     1,
+		Baseline:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.Points {
+		if p.Throughput <= 0 {
+			t.Errorf("%s %s/%s: throughput %v, want > 0", p.Workload, p.Engine, p.Mech, p.Throughput)
+		}
+	}
+}
+
+// TestRetryOrigExcludedFromHardwareEngines: the sweep must not try to run
+// the metadata-based retry on engines without STM metadata (it would
+// panic).
+func TestRetryOrigExcludedFromHardwareEngines(t *testing.T) {
+	rep, err := Run(Options{
+		Seed:      1,
+		Threads:   []int{2},
+		Engines:   []string{"htm", "hybrid"},
+		Mechs:     []mech.Mechanism{mech.RetryOrig, mech.Retry},
+		Workloads: []string{"buffer"},
+		BufferOps: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.Points {
+		if p.Mech == string(mech.RetryOrig) {
+			t.Errorf("retry-orig scheduled on %s", p.Engine)
+		}
+	}
+}
+
+// TestStripeSweepReducesWakeScan is the PR's acceptance criterion as a
+// regression test: on the lane-partitioned bounded buffer at 8
+// goroutines, the 64-stripe wakeup index must visit fewer waiters per
+// commit than the 1-stripe (global) scan. The effect is structural — with
+// one stripe every commit scans every sleeping waiter in every lane, with
+// 64 stripes it scans only its own lane's — so the inequality holds far
+// from the noise floor.
+func TestStripeSweepReducesWakeScan(t *testing.T) {
+	ops := 2000
+	if testing.Short() {
+		ops = 500
+	}
+	rep, err := Run(Options{
+		Seed:         1,
+		Threads:      []int{8},
+		Mechs:        []mech.Mechanism{mech.Retry, mech.Await},
+		Workloads:    []string{"buffer"},
+		BufferOps:    ops,
+		SweepStripes: []int{1, 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := rep.StripeVerdict
+	if v == nil {
+		t.Fatal("sweep produced no stripe verdict")
+	}
+	if v.WakeupsPerCommitLow == 0 {
+		t.Fatalf("1-stripe sweep measured no wakeup checks at all (commits missing?): %+v", v)
+	}
+	if !v.Improved {
+		t.Errorf("wakeup checks per commit did not improve: %.4f @ %d stripes vs %.4f @ %d stripes",
+			v.WakeupsPerCommitLow, v.LowStripes, v.WakeupsPerCommitHigh, v.HighStripes)
+	}
+}

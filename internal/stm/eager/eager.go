@@ -110,6 +110,7 @@ func (e *Engine) Write(tx *tm.Tx, addr *uint64, val uint64) {
 		(locktable.Version(w) <= tx.Start || (e.sys.Cfg.TimestampExtension && e.tryExtend(tx))) {
 		if e.sys.Table.CAS(idx, w, locktable.LockedBy(tx.Thr.ID, locktable.Version(w))) {
 			tx.Locks = append(tx.Locks, idx)
+			tx.NoteWriteStripe(idx)
 			tx.Undo = append(tx.Undo, tm.UndoEntry{Addr: addr, Old: atomic.LoadUint64(addr)})
 			atomic.StoreUint64(addr, val)
 			return

@@ -149,6 +149,13 @@ type Tx struct {
 	// (Algorithm 1) intersects it with sleeping transactions' read sets.
 	WriteOrecs []uint32
 
+	// WriteStripes is the deduplicated set of orec-table stripes the
+	// attempt's write set touched, recorded by the engines as write
+	// ownership is established (lock acquisition; serial-mode stores).
+	// The post-commit wakeup visits only these stripes, making Algorithm
+	// 4's wakeWaiters O(write set) instead of O(waiters).
+	WriteStripes []uint32
+
 	// OnCommit holds actions deferred until the attempt commits (e.g.
 	// condition-variable signals, which must not fire from an attempt
 	// that may yet abort). Dropped without running if the attempt aborts.
@@ -209,6 +216,22 @@ func (tx *Tx) OldValue(addr *uint64) (uint64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// NoteWriteStripe records that the attempt established write ownership of
+// orec slot idx, adding the slot's stripe to the write-stripe set. Engines
+// call it wherever they acquire a write lock (or, in the HTM serial
+// fallback, wherever they store in place). The set is tiny — one entry per
+// distinct stripe, bounded by the table's stripe count — so a linear
+// dedup scan beats a map.
+func (tx *Tx) NoteWriteStripe(idx uint32) {
+	s := tx.Sys.Table.StripeOf(idx)
+	for _, x := range tx.WriteStripes {
+		if x == s {
+			return
+		}
+	}
+	tx.WriteStripes = append(tx.WriteStripes, s)
 }
 
 // LogWait appends an address/value pair to the waitset.
@@ -309,6 +332,7 @@ func (tx *Tx) resetAfterAttempt(committed bool) {
 	tx.Mallocs = tx.Mallocs[:0]
 	tx.Frees = tx.Frees[:0]
 	tx.WriteOrecs = tx.WriteOrecs[:0]
+	tx.WriteStripes = tx.WriteStripes[:0]
 	tx.OnCommit = tx.OnCommit[:0]
 	tx.HWReads, tx.HWWrites = 0, 0
 }
@@ -383,6 +407,12 @@ type Stats struct {
 	Wakeups          atomic.Uint64
 	FutileWakeups    atomic.Uint64
 	Serializations   atomic.Uint64
+
+	// WakeChecks counts sleeping waiters visited (predicate considered)
+	// by post-commit wakeup scans. With the per-stripe waiter index this
+	// is the O(write set) wakeup cost the sharding buys; with one stripe
+	// it degenerates to the old O(waiters) global scan.
+	WakeChecks atomic.Uint64
 }
 
 // Attempts returns the total number of finished transaction attempts
@@ -416,6 +446,7 @@ func (s *Stats) Snapshot() map[string]uint64 {
 		"wakeups":           s.Wakeups.Load(),
 		"futile_wakeups":    s.FutileWakeups.Load(),
 		"serializations":    s.Serializations.Load(),
+		"wake_checks":       s.WakeChecks.Load(),
 	}
 }
 
@@ -423,6 +454,12 @@ func (s *Stats) Snapshot() map[string]uint64 {
 type Config struct {
 	// TableSize is the number of orecs (power of two). 0 selects the default.
 	TableSize int
+	// Stripes is the number of cache-line-padded orec-table stripes
+	// (power of two, at most TableSize). 0 selects the default
+	// (locktable.DefaultStripes, clamped to the table size). Stripe count
+	// is a pure performance knob: any value yields identical observable
+	// behaviour, which the differential harness checks at {1, 4, 64}.
+	Stripes int
 	// Quiesce enables privatization safety: a committing writer waits for
 	// all concurrent transactions that started before its commit.
 	Quiesce bool
@@ -449,6 +486,12 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.TableSize == 0 {
 		c.TableSize = locktable.DefaultSize
+	}
+	if c.Stripes == 0 {
+		c.Stripes = locktable.DefaultStripes
+		if c.Stripes > c.TableSize {
+			c.Stripes = c.TableSize
+		}
 	}
 	if c.HTMReadCap == 0 {
 		c.HTMReadCap = 4096
@@ -497,7 +540,7 @@ type System struct {
 // capture the system's clock and table.
 func NewSystem(cfg Config, mk func(*System) Engine) *System {
 	cfg = cfg.withDefaults()
-	s := &System{Cfg: cfg, Table: locktable.New(cfg.TableSize)}
+	s := &System{Cfg: cfg, Table: locktable.NewSharded(cfg.TableSize, cfg.Stripes)}
 	s.pool.init()
 	s.Engine = mk(s)
 	return s
@@ -574,6 +617,11 @@ type Thread struct {
 	// LastWriteOrecs snapshots the orec slots written by the most recent
 	// committed transaction, for the PostCommit hook (Retry-Orig).
 	LastWriteOrecs []uint32
+
+	// LastWriteStripes snapshots the orec-table stripes written by the
+	// most recent committed transaction; the PostCommit hook's wakeup
+	// scan visits only these stripes' waiter shards.
+	LastWriteStripes []uint32
 
 	inPostCommit bool
 	backoff      spin.Backoff
@@ -746,6 +794,7 @@ func (t *Thread) attempt(tx *Tx, fn func(tx *Tx)) (res attemptResult) {
 	tx.Nesting = 0
 	t.ActiveStart.Store(0)
 	t.LastWriteOrecs = append(t.LastWriteOrecs[:0], tx.WriteOrecs...)
+	t.LastWriteStripes = append(t.LastWriteStripes[:0], tx.WriteStripes...)
 	deferred := tx.OnCommit
 	tx.OnCommit = nil
 	tx.resetAfterAttempt(true)
