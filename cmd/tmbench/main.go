@@ -3,18 +3,24 @@
 // workloads (lane-partitioned bounded buffer + the eight PARSEC
 // concurrency skeletons) across a goroutine ladder, runs a bounded-buffer
 // stripe sweep (1 stripe versus 64) to measure the post-commit wakeup
-// cost the sharded orec table removes, and writes one machine-readable
-// JSON report (schema tmsync-bench/1; see README "Benchmark pipeline").
+// cost the sharded orec table removes, runs the Retry-Orig contention
+// sweep (a token ring of Retry-Orig sleepers at 8 and 16 goroutines,
+// sharded/global × batched/unbatched) to measure the registry-scan and
+// signal-delivery cost the sharded registry and the per-commit signal
+// batch remove, and writes one machine-readable JSON report (schema
+// tmsync-bench/1; see README "Benchmark pipeline").
 //
 // Usage:
 //
-//	go run ./cmd/tmbench -seed 1 -threads 1,2,4,8          # full sweep -> BENCH_PR2.json
+//	go run ./cmd/tmbench -seed 1 -threads 1,2,4,8          # full sweep -> BENCH_PR3.json
 //	go run ./cmd/tmbench -quick -out /tmp/bench.json       # reduced ops (CI, smoke)
 //	go run ./cmd/tmbench -workloads buffer -mechs retry    # narrow the axes
+//	go run ./cmd/tmbench -diff BENCH_PR2.json              # trajectory diff vs a prior report
 //
 // Exit status is non-zero if any workload self-check fails (a PARSEC
-// checksum deviating from its sequential reference) or the report cannot
-// be written.
+// checksum deviating from its sequential reference, or ring-token
+// conservation breaking in the Retry-Orig sweep) or the report cannot be
+// written.
 package main
 
 import (
@@ -39,10 +45,13 @@ func main() {
 	bufCap := flag.Int("cap", 0, "bounded-buffer capacity per lane (0 = default)")
 	scale := flag.Int("scale", 0, "PARSEC workload scale (0 = default)")
 	trials := flag.Int("trials", 1, "trials per cell; each is one report point")
-	sweepFlag := flag.String("sweep-stripes", "1,64", "stripe counts for the bounded-buffer stripe sweep")
+	sweepFlag := flag.String("sweep-stripes", "1,64", "stripe counts for the bounded-buffer stripe sweep and the Retry-Orig sweep")
+	origThreadsFlag := flag.String("orig-threads", "8,16", "goroutine counts for the Retry-Orig contention sweep (empty = skip)")
+	origPasses := flag.Int("orig-passes", 0, "token hand-offs per Retry-Orig ring worker (0 = default)")
 	noBaseline := flag.Bool("no-baseline", false, "skip the Pthreads lock+condvar baseline rows")
 	quick := flag.Bool("quick", false, "reduced operation counts (CI and smoke tests)")
-	out := flag.String("out", "BENCH_PR2.json", "output path for the JSON report")
+	out := flag.String("out", "BENCH_PR3.json", "output path for the JSON report")
+	diff := flag.String("diff", "", "prior report (e.g. BENCH_PR2.json) to diff wake-checks/commit and signals/commit against")
 	verbose := flag.Bool("v", false, "per-point progress lines")
 	flag.Parse()
 
@@ -54,6 +63,8 @@ func main() {
 		Scale:        *scale,
 		Trials:       *trials,
 		SweepStripes: parseInts(*sweepFlag, "sweep-stripes"),
+		OrigThreads:  parseInts(*origThreadsFlag, "orig-threads"),
+		OrigPasses:   *origPasses,
 		Baseline:     !*noBaseline,
 	}
 	if *enginesFlag != "" {
@@ -73,6 +84,21 @@ func main() {
 		}
 		if o.Scale == 0 {
 			o.Scale = 1
+		}
+		if o.OrigPasses == 0 {
+			o.OrigPasses = 50
+		}
+	}
+
+	// Load the prior report before the sweep so a bad -diff path fails
+	// fast instead of discarding an hour of measurement.
+	var prior *perf.Report
+	if *diff != "" {
+		var err error
+		prior, err = perf.LoadReport(*diff)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tmbench:", err)
+			os.Exit(1)
 		}
 	}
 	if *verbose {
@@ -99,8 +125,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("benchmark report: %d points + %d stripe-sweep points -> %s\n",
-		len(rep.Points), len(rep.StripeSweep), *out)
+	fmt.Printf("benchmark report: %d points + %d stripe-sweep points + %d orig-sweep points -> %s\n",
+		len(rep.Points), len(rep.StripeSweep), len(rep.OrigSweep), *out)
 	if v := rep.StripeVerdict; v != nil {
 		fmt.Printf("stripe sweep (%s, %d goroutines): wakeup checks per commit %.2f @ %d stripe(s) vs %.2f @ %d stripes\n",
 			v.Workload, v.Threads, v.WakeupsPerCommitLow, v.LowStripes, v.WakeupsPerCommitHigh, v.HighStripes)
@@ -108,6 +134,24 @@ func main() {
 			fmt.Println("stripe verdict: IMPROVED (sharded wakeup index visits fewer waiters per commit)")
 		} else {
 			fmt.Println("stripe verdict: no improvement measured on this run")
+		}
+	}
+	if v := rep.OrigVerdict; v != nil {
+		fmt.Printf("retry-orig sweep (%s, %d goroutines): %s vs %s\n", v.Workload, v.Threads, v.Baseline, v.Candidate)
+		fmt.Printf("  orig-scan checks per commit %.3f -> %.3f, signals per commit %.3f -> %.3f, throughput %.0f -> %.0f ops/s\n",
+			v.OrigChecksPerCommitBaseline, v.OrigChecksPerCommitCandidate,
+			v.SignalsPerCommitBaseline, v.SignalsPerCommitCandidate,
+			v.ThroughputBaseline, v.ThroughputCandidate)
+		if v.Improved {
+			fmt.Println("retry-orig verdict: IMPROVED (sharded registry scans fewer sleepers; batched delivery signals no more)")
+		} else {
+			fmt.Println("retry-orig verdict: no improvement measured on this run")
+		}
+	}
+	if prior != nil {
+		fmt.Printf("trajectory diff against %s:\n", *diff)
+		for _, line := range perf.DiffReports(prior, rep) {
+			fmt.Println("  " + line)
 		}
 	}
 }

@@ -38,6 +38,7 @@ func main() {
 	budget := flag.Duration("budget", 0, "stop starting new scenarios after this much time (0 = no budget)")
 	engine := flag.String("engine", "", "restrict to one engine (default: all four)")
 	stripes := flag.Int("stripes", 0, "orec-table stripe count for every system (0 = default); any power of two must yield identical outcomes")
+	unbatched := flag.Bool("unbatched", false, "signal-at-claim wakeup delivery instead of the per-commit batch; must yield identical outcomes")
 	only := flag.String("mech", "", "restrict to one mechanism (default: all applicable)")
 	parsec := flag.Bool("parsec", false, "check the eight PARSEC skeletons instead of random scenarios")
 	scale := flag.Int("scale", 1, "PARSEC workload scale (with -parsec)")
@@ -77,7 +78,7 @@ func main() {
 	scenarios := 0
 
 	runOne := func(s *harness.Scenario) {
-		results := harness.RunScenarioKnobs(s, engines, mech.Mechanism(*only), harness.Knobs{Stripes: *stripes})
+		results := harness.RunScenarioKnobs(s, engines, mech.Mechanism(*only), harness.Knobs{Stripes: *stripes, Unbatched: *unbatched})
 		rep.Add(results)
 		scenarios++
 		failed := 0

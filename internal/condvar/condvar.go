@@ -87,6 +87,14 @@ func (v *Var) popAll() []*waiter {
 // conflicts with this transaction either aborts this commit (and the block
 // re-checks its condition) or finds the waiter queued — no lost wakeups.
 func (v *Var) Wait(tx *tm.Tx) {
+	// Discard any token left over from an earlier sleep cycle (a ghost
+	// waiter popped by a racing Signal after this thread withdrew, or a
+	// late batched wakeup from a Deschedule cycle the thread departed)
+	// before this waiter is enqueued and becomes signallable. The thread
+	// holds no published waiter of any kind here, so a buffered token can
+	// only be stale; consumed later by the sleep below, it would fire a
+	// spurious wakeup with the condition unestablished.
+	tx.Thr.Sem.TryDrain()
 	w := &waiter{s: tx.Thr.Sem}
 	v.enqueue(w)
 	var wrote bool
@@ -107,15 +115,23 @@ func (v *Var) Wait(tx *tm.Tx) {
 	}()
 	// The attempt committed: finalize deferred frees, keep allocations,
 	// and detach deferred actions before the driver's abort-path reset
-	// (which would otherwise undo them) runs.
+	// (which would otherwise undo them) runs. The write set is copied
+	// into the signal itself: the deferred actions below may commit their
+	// own transactions before Handle's post-commit wake scan runs, and
+	// per-thread or descriptor state would be overwritten by then.
 	tx.Sys.FreeBlocks(tx.Frees)
 	tx.Frees = tx.Frees[:0]
 	tx.Mallocs = tx.Mallocs[:0]
-	tx.Thr.LastWriteOrecs = append(tx.Thr.LastWriteOrecs[:0], tx.WriteOrecs...)
-	tx.Thr.LastWriteStripes = append(tx.Thr.LastWriteStripes[:0], tx.WriteStripes...)
 	deferred := tx.OnCommit
 	tx.OnCommit = nil
-	panic(waitSignal{v: v, w: w, wrote: wrote, deferred: deferred})
+	panic(waitSignal{
+		v:            v,
+		w:            w,
+		wrote:        wrote,
+		deferred:     deferred,
+		writeOrecs:   append([]uint32(nil), tx.WriteOrecs...),
+		writeStripes: append([]uint32(nil), tx.WriteStripes...),
+	})
 }
 
 type waitSignal struct {
@@ -123,6 +139,11 @@ type waitSignal struct {
 	w        *waiter
 	wrote    bool
 	deferred []func()
+
+	// writeOrecs/writeStripes carry the punctuation commit's captured
+	// write set to the post-commit wake scan in Handle.
+	writeOrecs   []uint32
+	writeStripes []uint32
 }
 
 // Handle accounts for the punctuation commit, runs the transaction's
@@ -138,7 +159,7 @@ func (s waitSignal) Handle(tx *tm.Tx) tm.Outcome {
 		f()
 	}
 	if s.wrote && sys.PostCommit != nil {
-		sys.PostCommit(tx.Thr)
+		sys.PostCommit(tx.Thr, s.writeOrecs, s.writeStripes)
 	}
 	s.w.s.Wait()
 	// Withdraw the queue entry if a stale coalesced token woke us before a

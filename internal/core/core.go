@@ -20,6 +20,7 @@ import (
 	"unsafe"
 
 	"tmsync/internal/locktable"
+	"tmsync/internal/sem"
 	"tmsync/internal/spin"
 	"tmsync/internal/tm"
 )
@@ -53,10 +54,16 @@ type Waiter struct {
 
 // origWaiter is a Retry-Orig registry entry (Algorithm 1): the sleeping
 // transaction's read-set metadata, to be intersected with committing
-// writers' lock sets.
+// writers' lock sets. The entry is registered on every registry shard
+// (orec-table stripe) its read set covers; woken arbitrates between
+// concurrent wakers on different shards, the entry's own withdrawal on a
+// validation failure, and a spurious (stale-token) wakeup — whichever
+// wins the CAS owns the entry's single wakeup.
 type origWaiter struct {
-	thr   *tm.Thread
-	orecs map[uint32]struct{}
+	thr     *tm.Thread
+	orecs   map[uint32]struct{}
+	stripes []uint32 // registry shards the entry was inserted on (ascending)
+	woken   atomic.Bool
 }
 
 // waiterShard is one shard of the waiter index: the waiters whose
@@ -72,6 +79,20 @@ type waiterShard struct {
 type paddedShard struct {
 	waiterShard
 	_ [(64 - unsafe.Sizeof(waiterShard{})%64) % 64]byte
+}
+
+// origShard is one shard of the Retry-Orig registry: the entries whose
+// read-set orecs touch one orec-table stripe.
+type origShard struct {
+	mu      spin.Lock
+	waiters []*origWaiter
+}
+
+// paddedOrigShard keeps adjacent Retry-Orig registry shards on distinct
+// cache lines, mirroring the waiter-index layout.
+type paddedOrigShard struct {
+	origShard
+	_ [(64 - unsafe.Sizeof(origShard{})%64) % 64]byte
 }
 
 // CondSync is the condition-synchronization runtime attached to one
@@ -94,18 +115,27 @@ type CondSync struct {
 	mu      spin.Lock
 	waiters []*Waiter
 
-	// The original Retry mechanism uses a single global lock to make
-	// read-set validation atomic with insertion (Algorithm 1 uses the
-	// same simplification).
-	origMu      spin.Lock
-	origWaiters []*origWaiter
+	// origShards is the sharded Retry-Orig registry, one shard per
+	// orec-table stripe. Algorithm 1 guards the registry with a single
+	// global lock to make read-set validation atomic with insertion; here
+	// that atomicity is preserved per shard — an entry's orecs are
+	// validated and the entry inserted under the lock of the shard that
+	// covers them, one shard at a time — so a committing writer's
+	// origWake takes only the locks of stripes in its captured lock set.
+	// A one-stripe table degenerates to the original global registry,
+	// which the differential harness uses to prove equivalence.
+	origShards []paddedOrigShard
 }
 
 // Enable attaches a condition-synchronization runtime to sys and installs
 // the post-commit wakeWaiters hook. It must be called once, before any
 // transactions run.
 func Enable(sys *tm.System) *CondSync {
-	cs := &CondSync{sys: sys, shards: make([]paddedShard, sys.Table.NumStripes())}
+	cs := &CondSync{
+		sys:        sys,
+		shards:     make([]paddedShard, sys.Table.NumStripes()),
+		origShards: make([]paddedOrigShard, sys.Table.NumStripes()),
+	}
 	sys.Ext = cs
 	sys.PostCommit = cs.postCommit
 	return cs
@@ -238,20 +268,56 @@ func (cs *CondSync) WaitingLen() int {
 	return len(seen)
 }
 
+// OrigWaitingLen reports the current number of distinct live (unclaimed)
+// Retry-Orig registry entries (tests). An entry whose read set spans
+// several stripes is registered on each shard, so the lists are
+// deduplicated; entries already claimed by a waker but not yet purged do
+// not count.
+func (cs *CondSync) OrigWaitingLen() int {
+	seen := make(map[*origWaiter]struct{})
+	for i := range cs.origShards {
+		sh := &cs.origShards[i].origShard
+		sh.mu.Lock()
+		for _, ow := range sh.waiters {
+			if !ow.woken.Load() {
+				seen[ow] = struct{}{}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return len(seen)
+}
+
 // postCommit is installed as the system's PostCommit hook; it runs on the
-// committing thread strictly after the writer's effects are visible.
+// committing thread strictly after the writer's effects are visible, with
+// the attempt's lock set and write-stripe set captured by the driver (so
+// neither OnCommit callbacks nor the nested predicate transactions below
+// can clobber them).
 //
-// The predicate evaluations inside wakeWaiters run nested read-only
-// transactions on this same thread, and every commit — including a
-// read-only one — truncates t.LastWriteOrecs/LastWriteStripes to its own
-// (empty) write set. Both slice headers are therefore captured up front;
-// the backing arrays stay intact because the nested transactions append
-// nothing (predicates must not write).
-func (cs *CondSync) postCommit(t *tm.Thread) {
-	writeOrecs := t.LastWriteOrecs
-	writeStripes := t.LastWriteStripes
-	cs.wakeWaiters(t, writeStripes)
-	cs.origWake(t, writeOrecs)
+// Both halves of the wakeup — the Deschedule waiter index and the
+// Retry-Orig registry — accumulate their claimed waiters into one
+// per-commit batch, and every semaphore signal is issued after the last
+// shard lock has been released: the per-commit form of Algorithm 4's
+// deferred semaphore operations. Config.UnbatchedWakeups reverts to
+// signal-at-claim delivery for measurement; the observable outcome is
+// identical either way.
+func (cs *CondSync) postCommit(t *tm.Thread, writeOrecs, writeStripes []uint32) {
+	var batch sem.Batch
+	cs.wakeWaiters(t, writeStripes, &batch)
+	cs.origWake(writeOrecs, &batch)
+	if n := batch.SignalAll(); n > 0 {
+		cs.sys.Stats.BatchedSignals.Add(uint64(n))
+	}
+}
+
+// deliver routes one claimed waiter's wakeup: into the per-commit batch by
+// default, or straight to the semaphore under Config.UnbatchedWakeups.
+func (cs *CondSync) deliver(batch *sem.Batch, s *sem.Sem) {
+	if cs.sys.Cfg.UnbatchedWakeups {
+		s.Signal()
+		return
+	}
+	batch.Add(s)
 }
 
 // wakeWaiters implements the bottom half of Algorithm 4, indexed by
@@ -260,9 +326,9 @@ func (cs *CondSync) postCommit(t *tm.Thread) {
 // set shares no stripe with it and is never examined — plus the unindexed
 // list. Should a writer commit ever fail to record its stripes, fall back
 // to scanning every shard rather than risk a lost wakeup.
-func (cs *CondSync) wakeWaiters(t *tm.Thread, touched []uint32) {
+func (cs *CondSync) wakeWaiters(t *tm.Thread, touched []uint32, batch *sem.Batch) {
 	if len(touched) == 0 {
-		cs.wakeAllShards(t)
+		cs.wakeAllShards(t, batch)
 		return
 	}
 	var seen map[*Waiter]struct{}
@@ -278,32 +344,34 @@ func (cs *CondSync) wakeWaiters(t *tm.Thread, touched []uint32) {
 				}
 				seen[w] = struct{}{}
 			}
-			cs.tryWake(t, w)
+			cs.tryWake(t, w, batch)
 		}
 	}
 	for _, w := range cs.snapshotUnindexed() {
-		cs.tryWake(t, w)
+		cs.tryWake(t, w, batch)
 	}
 }
 
 // wakeAllShards is the conservative full scan (also the exact behaviour of
 // a one-stripe table).
-func (cs *CondSync) wakeAllShards(t *tm.Thread) {
+func (cs *CondSync) wakeAllShards(t *tm.Thread, batch *sem.Batch) {
 	for i := range cs.shards {
 		for _, w := range cs.shards[i].snapshot() {
-			cs.tryWake(t, w)
+			cs.tryWake(t, w, batch)
 		}
 	}
 	for _, w := range cs.snapshotUnindexed() {
-		cs.tryWake(t, w)
+		cs.tryWake(t, w, batch)
 	}
 }
 
 // tryWake evaluates one sleeping waiter's predicate in a fresh (read-only,
 // hardware-friendly) transaction; if the waiter should wake, claim it with
-// a CAS and signal its semaphore outside the transaction (deferred
-// semaphore operations, Algorithm 4 line 9).
-func (cs *CondSync) tryWake(t *tm.Thread, w *Waiter) {
+// a CAS and hand its semaphore to the per-commit batch (the claim makes
+// the wakeup this commit's responsibility; the signal itself is deferred
+// until every shard has been scanned — Algorithm 4 line 9, applied
+// per commit rather than per waiter).
+func (cs *CondSync) tryWake(t *tm.Thread, w *Waiter, batch *sem.Batch) {
 	if !w.asleep.Load() {
 		return
 	}
@@ -313,41 +381,85 @@ func (cs *CondSync) tryWake(t *tm.Thread, w *Waiter) {
 		should = w.asleep.Load() && w.Pred(tx, w.Args)
 	})
 	if should && w.asleep.CompareAndSwap(true, false) {
-		w.Thr.Sem.Signal()
+		cs.deliver(batch, w.Thr.Sem)
 	}
 }
 
-// origWake implements Algorithm 1's TxCommit lines 10–15: intersect the
-// just-committed writer's lock set (captured by postCommit before any
-// nested predicate transaction could truncate it) with each sleeping
-// transaction's read metadata and wake on overlap.
-func (cs *CondSync) origWake(t *tm.Thread, writeOrecs []uint32) {
+// origWake implements Algorithm 1's TxCommit lines 10–15 over the sharded
+// registry: intersect the just-committed writer's lock set with each
+// sleeping transaction's read metadata and wake on overlap. Only the
+// registry shards of stripes the lock set covers are visited — an entry
+// sharing no stripe with the lock set cannot intersect it orec-by-orec,
+// so skipping its shard loses nothing. Entries claimed through another
+// shard (or withdrawn by their owner) are purged in passing.
+func (cs *CondSync) origWake(writeOrecs []uint32, batch *sem.Batch) {
 	if len(writeOrecs) == 0 {
 		return
 	}
-	cs.origMu.Lock()
-	if len(cs.origWaiters) == 0 {
-		cs.origMu.Unlock()
-		return
+	var stripeBuf [16]uint32
+	stripes := cs.sys.Table.StripesOf(writeOrecs, stripeBuf[:0])
+	checks := 0
+	for _, s := range stripes {
+		sh := &cs.origShards[s].origShard
+		sh.mu.Lock()
+		for i := 0; i < len(sh.waiters); {
+			ow := sh.waiters[i]
+			if ow.woken.Load() {
+				sh.waiters = removeOrigAt(sh.waiters, i)
+				continue
+			}
+			checks++
+			hit := false
+			for _, idx := range writeOrecs {
+				if _, ok := ow.orecs[idx]; ok {
+					hit = true
+					break
+				}
+			}
+			if hit && ow.woken.CompareAndSwap(false, true) {
+				sh.waiters = removeOrigAt(sh.waiters, i)
+				cs.deliver(batch, ow.thr.Sem)
+				continue
+			}
+			i++
+		}
+		sh.mu.Unlock()
 	}
-	for i := 0; i < len(cs.origWaiters); {
-		ow := cs.origWaiters[i]
-		hit := false
-		for _, idx := range writeOrecs {
-			if _, ok := ow.orecs[idx]; ok {
-				hit = true
+	if checks > 0 {
+		cs.sys.Stats.OrigShardChecks.Add(uint64(checks))
+	}
+}
+
+// removeOrigAt removes index i from a registry shard's list (order is not
+// meaningful; swap with the tail).
+func removeOrigAt(ws []*origWaiter, i int) []*origWaiter {
+	ws[i] = ws[len(ws)-1]
+	ws[len(ws)-1] = nil
+	return ws[:len(ws)-1]
+}
+
+// origWithdraw removes an entry from every registry shard it was inserted
+// on, first racing any concurrent waker for the entry's single wakeup. If
+// the entry wins, no signal is in flight and the withdrawal is silent; if
+// a waker won, its token may already be buffered — or may still be sitting
+// in the waker's batch — so the best-effort drain here is backstopped by
+// the drain at the start of the next sleep cycle.
+func (cs *CondSync) origWithdraw(ow *origWaiter) {
+	claimed := !ow.woken.CompareAndSwap(false, true)
+	for _, s := range ow.stripes {
+		sh := &cs.origShards[s].origShard
+		sh.mu.Lock()
+		for i, x := range sh.waiters {
+			if x == ow {
+				sh.waiters = removeOrigAt(sh.waiters, i)
 				break
 			}
 		}
-		if hit {
-			cs.origWaiters[i] = cs.origWaiters[len(cs.origWaiters)-1]
-			cs.origWaiters = cs.origWaiters[:len(cs.origWaiters)-1]
-			ow.thr.Sem.Signal()
-		} else {
-			i++
-		}
+		sh.mu.Unlock()
 	}
-	cs.origMu.Unlock()
+	if claimed {
+		ow.thr.Sem.TryDrain()
+	}
 }
 
 // deschedSignal unwinds a transaction that must be descheduled. By the
@@ -368,6 +480,12 @@ func (s deschedSignal) Handle(tx *tm.Tx) tm.Outcome {
 	cs.sys.Stats.Deschedules.Add(1)
 	deferred := s.deferred
 
+	// Discard any token left over from an earlier sleep cycle BEFORE this
+	// cycle becomes claimable. A claim-winning waker whose (batched)
+	// signal landed after the previous cycle's best-effort drain would
+	// otherwise satisfy this cycle's Wait immediately, waking the waiter
+	// with a predicate that does not hold.
+	tx.Thr.Sem.TryDrain()
 	w.asleep.Store(true)
 	cs.insert(w)
 
@@ -383,13 +501,19 @@ func (s deschedSignal) Handle(tx *tm.Tx) tm.Outcome {
 		cs.remove(w)
 		if !w.asleep.CompareAndSwap(true, false) {
 			// A racing writer claimed the wakeup; its token may already
-			// be buffered. Discarding it here is best-effort — a token
-			// that lands later merely causes one harmless spurious
-			// wakeup on the next sleep (§2.2, accidental wakeups).
+			// be buffered, or may still be waiting in the writer's
+			// signal batch. Discard what has arrived; the drain at the
+			// start of the next sleep cycle catches a late token.
 			tx.Thr.Sem.TryDrain()
 		}
 	} else {
 		tx.Thr.Sem.Wait()
+		// Clear the claim flag ourselves: if the consumed token was stale
+		// (a pre-drain waker's signal landing mid-cycle), no waker has
+		// CASed asleep for THIS cycle, and leaving it set would let a
+		// waker holding a stale registry snapshot claim — and signal — a
+		// waiter that has already departed.
+		w.asleep.Store(false)
 		cs.sys.Stats.Wakeups.Add(1)
 		cs.remove(w)
 	}
@@ -491,11 +615,13 @@ func fastPathEnabled(tx *tm.Tx) bool {
 
 // origSignal implements the sleep half of Algorithm 1, carrying the read
 // metadata captured when Retry was called (the descriptor is reset before
-// Handle runs).
+// Handle runs). slots duplicates the orecs keys as a slice so Handle can
+// group them by registry shard without re-walking the map.
 type origSignal struct {
 	cs    *CondSync
 	start uint64
 	orecs map[uint32]struct{}
+	slots []uint32
 }
 
 // RetryOrig implements the original Retry mechanism (Algorithm 1), the
@@ -513,33 +639,70 @@ func RetryOrig(tx *tm.Tx) {
 	for i := range tx.Reads {
 		orecs[tx.Reads[i].Orec] = struct{}{}
 	}
-	panic(origSignal{cs: cs, start: tx.Start, orecs: orecs})
+	slots := make([]uint32, 0, len(orecs))
+	for idx := range orecs {
+		slots = append(slots, idx)
+	}
+	panic(origSignal{cs: cs, start: tx.Start, orecs: orecs, slots: slots})
 }
 
 func (s origSignal) Handle(tx *tm.Tx) tm.Outcome {
 	cs := s.cs
+	tbl := cs.sys.Table
 	cs.sys.Stats.Deschedules.Add(1)
+	// Discard any stale token from an earlier sleep cycle before this
+	// cycle's registry entry becomes claimable (same rationale as the
+	// Deschedule path: a late batched signal must not satisfy a later
+	// cycle's Wait).
+	tx.Thr.Sem.TryDrain()
+
 	// Atomically with validation, add the calling transaction to the
-	// waiting list (Algorithm 1, Retry lines 3–8). The driver has already
+	// waiting list (Algorithm 1, Retry lines 3–8), one registry shard at
+	// a time: each stripe's orecs are validated and the entry inserted
+	// under that shard's lock, which is exactly the lock a committing
+	// writer to those orecs must take before scanning — so per stripe,
+	// either the insertion precedes the writer's scan (the scan finds the
+	// entry and wakes it) or the writer's version bump precedes the
+	// validation (which then fails and restarts). The driver has already
 	// undone writes and released locks "as if the transaction never ran",
 	// so a valid read is one whose orec is unlocked at a version no newer
 	// than the transaction's start.
-	cs.origMu.Lock()
-	for idx := range s.orecs {
-		w := cs.sys.Table.Get(idx)
-		if locktable.Locked(w) || locktable.Version(w) > s.start {
-			// A concurrent modification means re-execution may already be
-			// profitable; restart instead of risking a missed wakeup.
-			cs.origMu.Unlock()
-			return tm.OutcomeRetryNow
-		}
-	}
 	ow := &origWaiter{thr: tx.Thr, orecs: s.orecs}
-	cs.origWaiters = append(cs.origWaiters, ow)
-	cs.origMu.Unlock()
+	valid := tbl.GroupByStripe(s.slots, func(stripe uint32, group []uint32) bool {
+		sh := &cs.origShards[stripe].origShard
+		sh.mu.Lock()
+		for _, idx := range group {
+			w := tbl.Get(idx)
+			if locktable.Locked(w) || locktable.Version(w) > s.start {
+				// A concurrent modification means re-execution may
+				// already be profitable; restart instead of risking a
+				// missed wakeup.
+				sh.mu.Unlock()
+				return false
+			}
+		}
+		sh.waiters = append(sh.waiters, ow)
+		ow.stripes = append(ow.stripes, stripe)
+		sh.mu.Unlock()
+		return true
+	})
+	if !valid {
+		// Withdraw from the shards already inserted on. A writer may have
+		// claimed the entry through one of them in the meantime; the
+		// withdrawal arbitrates through the woken CAS and drains any
+		// already-delivered signal.
+		cs.origWithdraw(ow)
+		return tm.OutcomeRetryNow
+	}
 
 	tx.Thr.Sem.Wait()
 	cs.sys.Stats.Wakeups.Add(1)
+	// Deregister: the claiming waker removed the entry from the shard it
+	// scanned, but entries on the entry's other stripes — or, after a
+	// spurious (stale-token) wakeup, on every stripe — remain. The
+	// withdrawal also self-claims on a spurious wakeup, so no snapshot-
+	// holding waker can signal this departed entry.
+	cs.origWithdraw(ow)
 	tx.Attempts = 0
 	return tm.OutcomeRetryNow
 }

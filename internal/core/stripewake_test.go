@@ -128,12 +128,12 @@ func TestMultiStripeWaitsetRegistersOnEachStripe(t *testing.T) {
 	})
 }
 
-// TestOrigWaiterWakesDespitePrecedingIndexedScan: postCommit must capture
-// the writer's lock set before wakeWaiters runs, because the predicate
-// evaluations inside wakeWaiters are nested read-only commits on the same
-// thread and truncate Thread.LastWriteOrecs. With a Deschedule waiter and
-// a Retry-Orig waiter parked on the same word, the orig waiter must still
-// see the intersection and wake.
+// TestOrigWaiterWakesDespitePrecedingIndexedScan: the driver captures the
+// writer's lock set and hands it to the PostCommit hook, so the nested
+// read-only predicate transactions that wakeWaiters runs on the same
+// thread must not be able to disturb it before origWake reads it. With a
+// Deschedule waiter and a Retry-Orig waiter parked on the same word, the
+// orig waiter must still see the intersection and wake.
 func TestOrigWaiterWakesDespitePrecedingIndexedScan(t *testing.T) {
 	forEach(t, stmEngines, func(t *testing.T, sys *tm.System, cs *core.CondSync) {
 		var word uint64

@@ -44,8 +44,14 @@ var Engines = []string{"eager", "lazy", "htm", "hybrid"}
 // sweeps over performance-only parameters (which must not change any
 // observable outcome) and by the benchmark pipeline.
 type Knobs struct {
-	// Stripes overrides the orec-table stripe count (0 = default).
+	// Stripes overrides the orec-table stripe count (0 = default). It
+	// also sizes the per-stripe waiter index and the sharded Retry-Orig
+	// registry, which have one shard per stripe.
 	Stripes int
+	// Unbatched reverts post-commit wakeups to signal-at-claim delivery
+	// instead of the per-commit signal batch (a measurement baseline;
+	// observably inert).
+	Unbatched bool
 }
 
 // NewSystem builds a TM system for the named engine with condition
@@ -57,7 +63,7 @@ func NewSystem(engine string) (*tm.System, error) {
 
 // NewSystemKnobs is NewSystem with explicit performance knobs.
 func NewSystemKnobs(engine string, k Knobs) (*tm.System, error) {
-	cfg := tm.Config{Stripes: k.Stripes}
+	cfg := tm.Config{Stripes: k.Stripes, UnbatchedWakeups: k.Unbatched}
 	var sys *tm.System
 	switch engine {
 	case "eager":

@@ -45,6 +45,51 @@ func TestParsecScenarioIdenticalAcrossStripeCounts(t *testing.T) {
 	}
 }
 
+// TestRetryOrigShardedIdenticalAcrossStripeCounts is the sharded
+// Retry-Orig registry's differential proof: the registry has one shard
+// per orec-table stripe, and one stripe IS the original global registry
+// with its single lock — so restricting the generated suite to the
+// retry-orig mechanism at {1, 4, 64} stripes pins the sharded
+// validate-and-insert protocol against Algorithm 1's global behaviour.
+func TestRetryOrigShardedIdenticalAcrossStripeCounts(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4, 5}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	stmEngines := []string{"eager", "lazy"} // Retry-Orig needs STM metadata
+	for _, seed := range seeds {
+		s := Generate(seed, GenConfig{})
+		for _, stripes := range stripeCounts {
+			for _, r := range RunScenarioKnobs(s, stmEngines, "retry-orig", Knobs{Stripes: stripes}) {
+				if !r.Pass {
+					t.Errorf("retry-orig stripes=%d: %s", stripes, r.String())
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratedSuiteIdenticalWithUnbatchedWakeups proves the per-commit
+// signal batch observably inert: delivering every wakeup at claim time
+// (the pre-batching behaviour) must produce the same oracle outcomes at
+// every stripe count.
+func TestGeneratedSuiteIdenticalWithUnbatchedWakeups(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		s := Generate(seed, GenConfig{})
+		for _, stripes := range stripeCounts {
+			for _, r := range RunScenarioKnobs(s, Engines, "", Knobs{Stripes: stripes, Unbatched: true}) {
+				if !r.Pass {
+					t.Errorf("unbatched stripes=%d: %s", stripes, r.String())
+				}
+			}
+		}
+	}
+}
+
 // TestInjectedFaultStillCaughtAtEveryStripeCount guards the detection
 // path itself: sharding must not blunt the harness's ability to flag a
 // deliberately broken program.

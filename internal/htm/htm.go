@@ -171,8 +171,9 @@ func (e *Engine) Write(tx *tm.Tx, addr *uint64, val uint64) {
 		// Serial-mode stores bypass orec acquisition (the section runs
 		// alone), but the post-commit wakeup still needs to know which
 		// stripes the write set covers, so record the covering orec's
-		// stripe (deduplicated) here. The orec itself is not logged:
-		// LastWriteOrecs feeds only Retry-Orig, which this engine rejects.
+		// stripe (deduplicated) here. The orec itself is not logged: the
+		// write-orec capture feeds only Retry-Orig, which this engine
+		// rejects.
 		tx.NoteWriteStripe(e.sys.Table.IndexOf(addr))
 		tx.Undo = append(tx.Undo, tm.UndoEntry{Addr: addr, Old: atomic.LoadUint64(addr)})
 		atomic.StoreUint64(addr, val)

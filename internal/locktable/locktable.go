@@ -181,3 +181,62 @@ func (t *Table) Set(idx uint32, w uint64) { t.slot(idx).Store(w) }
 
 // ForAddr returns the orec word covering addr.
 func (t *Table) ForAddr(addr *uint64) uint64 { return t.Get(t.IndexOf(addr)) }
+
+// StripesOf appends to buf[:0] the deduplicated stripes covering the given
+// orec slots, in ascending order. Slot sets are small relative to the
+// stripe count, so an insertion sort with linear dedup beats sorting a
+// copy or building a map; buf lets hot paths (the post-commit wake scan)
+// reuse one scratch slice across calls.
+func (t *Table) StripesOf(slots []uint32, buf []uint32) []uint32 {
+	out := buf[:0]
+	for _, idx := range slots {
+		s := idx >> t.stripeShift
+		pos := len(out)
+		for pos > 0 && out[pos-1] >= s {
+			if out[pos-1] == s {
+				pos = -1
+				break
+			}
+			pos--
+		}
+		if pos < 0 {
+			continue
+		}
+		out = append(out, 0)
+		copy(out[pos+1:], out[pos:])
+		out[pos] = s
+	}
+	return out
+}
+
+// GroupByStripe visits the given orec slots grouped by owning stripe, in
+// ascending stripe order, calling fn once per distinct stripe with the
+// slots it covers. It returns false (stopping early) as soon as fn does —
+// the shape the sharded Retry-Orig registry needs for its per-shard
+// validate-and-insert, which abandons the remaining shards on the first
+// validation failure. The slots slice is sorted in place by stripe.
+func (t *Table) GroupByStripe(slots []uint32, fn func(stripe uint32, slots []uint32) bool) bool {
+	// Insertion sort by stripe (slot sets are small); stable enough for
+	// grouping since only the stripe key matters.
+	for i := 1; i < len(slots); i++ {
+		v := slots[i]
+		j := i
+		for j > 0 && slots[j-1]>>t.stripeShift > v>>t.stripeShift {
+			slots[j] = slots[j-1]
+			j--
+		}
+		slots[j] = v
+	}
+	for lo := 0; lo < len(slots); {
+		s := slots[lo] >> t.stripeShift
+		hi := lo + 1
+		for hi < len(slots) && slots[hi]>>t.stripeShift == s {
+			hi++
+		}
+		if !fn(s, slots[lo:hi]) {
+			return false
+		}
+		lo = hi
+	}
+	return true
+}

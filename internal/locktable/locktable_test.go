@@ -337,3 +337,67 @@ func TestConcurrentCASExclusive(t *testing.T) {
 		t.Fatalf("lock acquisitions (%d) != final version (%d): lost or duplicated a CAS", total, Version(tbl.Get(0)))
 	}
 }
+
+func TestStripesOfDedupsAndSorts(t *testing.T) {
+	tbl := NewSharded(64, 8) // 8 slots per stripe
+	slots := []uint32{63, 0, 17, 7, 16, 62, 1} // stripes 7,0,2,0,2,7,0
+	got := tbl.StripesOf(slots, nil)
+	want := []uint32{0, 2, 7}
+	if len(got) != len(want) {
+		t.Fatalf("StripesOf = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("StripesOf = %v, want %v (ascending, deduplicated)", got, want)
+		}
+	}
+	// Reusing a scratch buffer must not retain old entries.
+	got = tbl.StripesOf([]uint32{8}, got)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("StripesOf with reused buffer = %v, want [1]", got)
+	}
+}
+
+func TestGroupByStripeCoversEverySlotOnce(t *testing.T) {
+	tbl := NewSharded(64, 8)
+	slots := []uint32{5, 12, 61, 3, 8, 40, 9}
+	seen := map[uint32]int{}
+	var lastStripe int64 = -1
+	ok := tbl.GroupByStripe(slots, func(stripe uint32, group []uint32) bool {
+		if int64(stripe) <= lastStripe {
+			t.Fatalf("stripe %d visited after stripe %d (want ascending)", stripe, lastStripe)
+		}
+		lastStripe = int64(stripe)
+		for _, s := range group {
+			if tbl.StripeOf(s) != stripe {
+				t.Fatalf("slot %d grouped under stripe %d, belongs to %d", s, stripe, tbl.StripeOf(s))
+			}
+			seen[s]++
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("full iteration reported early stop")
+	}
+	for _, s := range []uint32{5, 12, 61, 3, 8, 40, 9} {
+		if seen[s] != 1 {
+			t.Fatalf("slot %d visited %d times, want exactly once", s, seen[s])
+		}
+	}
+}
+
+func TestGroupByStripeStopsEarly(t *testing.T) {
+	tbl := NewSharded(64, 8)
+	slots := []uint32{0, 8, 16, 24} // stripes 0,1,2,3
+	calls := 0
+	ok := tbl.GroupByStripe(slots, func(stripe uint32, group []uint32) bool {
+		calls++
+		return stripe < 1 // stop after visiting stripe 1
+	})
+	if ok {
+		t.Fatal("early stop not reported")
+	}
+	if calls != 2 {
+		t.Fatalf("callback ran %d times, want 2 (stripes 0 and 1)", calls)
+	}
+}

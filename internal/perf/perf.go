@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"tmsync/internal/buffer"
+	"tmsync/internal/core"
 	"tmsync/internal/harness"
 	"tmsync/internal/locktable"
 	"tmsync/internal/mech"
@@ -58,6 +59,23 @@ type Options struct {
 	SweepStripes []int
 	// Baseline includes the Pthreads lock+condvar baseline per workload.
 	Baseline bool
+
+	// OrigThreads is the goroutine ladder of the Retry-Orig contention
+	// sweep; empty skips the sweep (cmd/tmbench passes 8,16 by default).
+	// Each cell is a token ring of that many Retry-Orig workers, run on
+	// the STM engines at every SweepStripes count, both batched and
+	// unbatched — the A/B for the sharded registry and the per-commit
+	// signal batch.
+	OrigThreads []int
+	// OrigPasses is the number of token hand-offs each ring worker
+	// performs (default 400).
+	OrigPasses int
+	// OrigWindow is the number of ring slots each worker reads per
+	// attempt (default 4): window reads inflate the sleeper's orec set
+	// across registry shards and create the futile-wakeup crosstalk the
+	// sweep is meant to stress.
+	OrigWindow int
+
 	// Progress, when set, receives one call per completed point.
 	Progress func(done, total int, p Point)
 }
@@ -93,6 +111,12 @@ func (o Options) withDefaults() Options {
 	if len(o.SweepStripes) == 0 {
 		o.SweepStripes = []int{1, 64}
 	}
+	if o.OrigPasses == 0 {
+		o.OrigPasses = 400
+	}
+	if o.OrigWindow == 0 {
+		o.OrigWindow = 4
+	}
 	return o
 }
 
@@ -115,7 +139,11 @@ type Point struct {
 	Threads  int    `json:"threads"`
 	// Stripes is the orec-table stripe count (0 = engine default).
 	Stripes int `json:"stripes,omitempty"`
-	Trial   int `json:"trial"`
+	// Unbatched marks a point measured with signal-at-claim wakeup
+	// delivery instead of the per-commit signal batch (the A/B baseline
+	// of the Retry-Orig contention sweep).
+	Unbatched bool `json:"unbatched,omitempty"`
+	Trial     int  `json:"trial"`
 
 	Seconds float64 `json:"seconds"`
 	// Ops counts application-level operations where the workload defines
@@ -143,6 +171,14 @@ type Point struct {
 	WakeupsPerCommit float64 `json:"wakeups_per_commit"`
 	// SignalsPerCommit is delivered wakeups per writer commit.
 	SignalsPerCommit float64 `json:"signals_per_commit"`
+	// BatchedSignals counts signals issued through the per-commit batch
+	// (zero for unbatched points).
+	BatchedSignals uint64 `json:"batched_signals,omitempty"`
+	// OrigShardChecks counts Retry-Orig registry entries examined by
+	// post-commit origWake scans — the work the sharded registry shrinks.
+	OrigShardChecks uint64 `json:"orig_shard_checks,omitempty"`
+	// OrigChecksPerCommit is OrigShardChecks per writer commit.
+	OrigChecksPerCommit float64 `json:"orig_checks_per_commit,omitempty"`
 	// Checksum is the workload checksum (PARSEC kernels), verified
 	// against the sequential reference before the point is recorded.
 	Checksum uint64 `json:"checksum,omitempty"`
@@ -162,7 +198,32 @@ type StripeVerdict struct {
 	Improved             bool    `json:"improved"`
 }
 
-// Report is the machine-readable result of one sweep (BENCH_PR2.json).
+// OrigVerdict summarizes the Retry-Orig contention sweep at 8 goroutines
+// (the acceptance point; the ladder also measures 16): the unsharded,
+// unbatched baseline — one registry shard, signal-at-claim delivery, i.e.
+// the pre-sharding implementation — against the sharded registry with the
+// per-commit signal batch. ChecksImproved is the headline claim: a
+// committing writer examines fewer sleeping Retry-Orig entries when it
+// takes only the registry shards of stripes in its lock set.
+type OrigVerdict struct {
+	Workload  string `json:"workload"`
+	Threads   int    `json:"threads"`
+	Baseline  string `json:"baseline"` // e.g. "1 stripe, unbatched"
+	Candidate string `json:"candidate"`
+
+	OrigChecksPerCommitBaseline  float64 `json:"orig_checks_per_commit_baseline"`
+	OrigChecksPerCommitCandidate float64 `json:"orig_checks_per_commit_candidate"`
+	SignalsPerCommitBaseline     float64 `json:"signals_per_commit_baseline"`
+	SignalsPerCommitCandidate    float64 `json:"signals_per_commit_candidate"`
+	ThroughputBaseline           float64 `json:"throughput_baseline"`
+	ThroughputCandidate          float64 `json:"throughput_candidate"`
+
+	ChecksImproved  bool `json:"checks_improved"`
+	SignalsImproved bool `json:"signals_improved"`
+	Improved        bool `json:"improved"`
+}
+
+// Report is the machine-readable result of one sweep (BENCH_PR<N>.json).
 type Report struct {
 	Schema        string         `json:"schema"`
 	Generated     string         `json:"generated"`
@@ -175,9 +236,13 @@ type Report struct {
 	BufferCap     int            `json:"buffer_cap"`
 	Scale         int            `json:"scale"`
 	SweepStripes  []int          `json:"sweep_stripes"`
+	OrigThreads   []int          `json:"orig_threads,omitempty"`
+	OrigPasses    int            `json:"orig_passes,omitempty"`
 	Points        []Point        `json:"points"`
 	StripeSweep   []Point        `json:"stripe_sweep"`
 	StripeVerdict *StripeVerdict `json:"stripe_verdict,omitempty"`
+	OrigSweep     []Point        `json:"orig_sweep,omitempty"`
+	OrigVerdict   *OrigVerdict   `json:"orig_verdict,omitempty"`
 }
 
 // mechRuns reports whether mechanism m runs on engine e.
@@ -227,12 +292,14 @@ func Run(o Options) (*Report, error) {
 	}
 
 	type cell struct {
-		workload string
-		engine   string
-		m        mech.Mechanism
-		threads  int
-		stripes  int
-		sweep    bool
+		workload  string
+		engine    string
+		m         mech.Mechanism
+		threads   int
+		stripes   int
+		sweep     bool
+		orig      bool
+		unbatched bool
 	}
 	var cells []cell
 	for _, w := range o.Workloads {
@@ -273,18 +340,49 @@ func Run(o Options) (*Report, error) {
 			}
 		}
 	}
+	// Retry-Orig contention sweep: the token ring on the STM engines
+	// (Retry-Orig needs orec metadata), at every sweep stripe count, both
+	// with the per-commit signal batch and without it. The {fewest
+	// stripes, unbatched} corner IS the pre-sharding implementation — one
+	// global registry scan per commit, signal-at-claim — so the sweep
+	// carries its own baseline.
+	if len(o.OrigThreads) > 0 {
+		rep.OrigThreads = o.OrigThreads
+		rep.OrigPasses = o.OrigPasses
+		for _, threads := range o.OrigThreads {
+			for _, e := range o.Engines {
+				if e != "eager" && e != "lazy" {
+					continue
+				}
+				for _, stripes := range o.SweepStripes {
+					for _, unbatched := range []bool{true, false} {
+						cells = append(cells, cell{workload: "origring", engine: e, m: mech.RetryOrig, threads: threads, stripes: stripes, orig: true, unbatched: unbatched})
+					}
+				}
+			}
+		}
+	}
 
 	total := len(cells) * o.Trials
 	done := 0
 	for _, c := range cells {
 		for trial := 0; trial < o.Trials; trial++ {
-			p, err := runCell(c.workload, c.engine, c.m, c.threads, c.stripes, trial, o)
+			var p Point
+			var err error
+			if c.orig {
+				p, err = runOrigRing(c.engine, c.threads, c.stripes, c.unbatched, trial, o)
+			} else {
+				p, err = runCell(c.workload, c.engine, c.m, c.threads, c.stripes, trial, o)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("perf: %s %s/%s t=%d: %w", c.workload, c.engine, c.m, c.threads, err)
 			}
-			if c.sweep {
+			switch {
+			case c.orig:
+				rep.OrigSweep = append(rep.OrigSweep, p)
+			case c.sweep:
 				rep.StripeSweep = append(rep.StripeSweep, p)
-			} else {
+			default:
 				rep.Points = append(rep.Points, p)
 			}
 			done++
@@ -294,7 +392,159 @@ func Run(o Options) (*Report, error) {
 		}
 	}
 	rep.StripeVerdict = verdict(rep.StripeSweep, sweepWorkload, maxThreads, o.SweepStripes)
+	rep.OrigVerdict = origVerdict(rep.OrigSweep, o.SweepStripes)
 	return rep, nil
+}
+
+// runOrigRing measures the Retry-Orig contention workload: a ring of
+// `threads` workers, each consuming tokens from its own slot and
+// producing into its successor's, sleeping via RetryOrig when its slot is
+// empty. Tokens seed every threads/4-th slot, so several hand-off chains
+// run concurrently and at any moment most workers sleep in the registry.
+// Each attempt also reads a window of neighbouring slots, spreading the
+// sleeper's orec set over several registry shards and making unrelated
+// hand-offs wake it futilely — the storm the sharded registry localizes.
+// Token conservation is the workload's self-check.
+func runOrigRing(engine string, threads, stripes int, unbatched bool, trial int, o Options) (Point, error) {
+	p := Point{Workload: "origring", Engine: engine, Mech: string(mech.RetryOrig), Threads: threads, Stripes: stripes, Unbatched: unbatched, Trial: trial}
+	sys, err := harness.NewSystemKnobs(engine, harness.Knobs{Stripes: stripes, Unbatched: unbatched})
+	if err != nil {
+		return Point{}, err
+	}
+	n := threads
+	window := o.OrigWindow
+	if window > n {
+		window = n
+	}
+	// Pick ring slots on pairwise-distinct orecs — and, when the table has
+	// enough stripes, pairwise-distinct stripes. Where a slot lands in the
+	// orec table is a function of its heap address, so without this
+	// normalization the measured scan cost would be hostage to allocator
+	// luck (two slots hashing into one stripe makes every hand-off commit
+	// scan both neighbourhoods); with it, the cell measures the structure
+	// the sweep is about.
+	backing := make([]uint64, 4096)
+	slots := make([]*uint64, 0, n)
+	distinctStripes := sys.Table.NumStripes() >= n
+	usedOrec := make(map[uint32]bool)
+	usedStripe := make(map[uint32]bool)
+	for i := range backing {
+		idx := sys.Table.IndexOf(&backing[i])
+		if usedOrec[idx] {
+			continue
+		}
+		if distinctStripes && usedStripe[sys.Table.StripeOf(idx)] {
+			continue
+		}
+		usedOrec[idx] = true
+		usedStripe[sys.Table.StripeOf(idx)] = true
+		slots = append(slots, &backing[i])
+		if len(slots) == n {
+			break
+		}
+	}
+	if len(slots) < n {
+		return Point{}, fmt.Errorf("origring: found only %d of %d distinct-orec ring slots", len(slots), n)
+	}
+	tokens := uint64(0)
+	for i := 0; i < n; i += max(1, n/4) {
+		*slots[i] = 1
+		tokens++
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			thr := sys.NewThread()
+			next := (i + 1) % n
+			for pass := 0; pass < o.OrigPasses; pass++ {
+				thr.Atomic(func(tx *tm.Tx) {
+					v := tx.Read(slots[i])
+					for j := 1; j < window; j++ {
+						_ = tx.Read(slots[(i+j)%n])
+					}
+					if v == 0 {
+						core.RetryOrig(tx)
+					}
+					tx.Write(slots[i], v-1)
+					tx.Write(slots[next], tx.Read(slots[next])+1)
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+	var left uint64
+	for _, s := range slots {
+		left += *s
+	}
+	if left != tokens {
+		return Point{}, fmt.Errorf("origring: %d tokens left in the ring, want %d (lost or duplicated wakeup)", left, tokens)
+	}
+	p.Ops = uint64(n) * uint64(o.OrigPasses)
+	fill(&p, sys, secs)
+	return p, nil
+}
+
+// origVerdict aggregates the Retry-Orig sweep at 8 goroutines (or the
+// lowest measured rung): {fewest stripes, unbatched} — the pre-sharding
+// implementation — versus {most stripes, batched}.
+func origVerdict(sweep []Point, stripes []int) *OrigVerdict {
+	if len(sweep) == 0 || len(stripes) < 2 {
+		return nil
+	}
+	low, high := stripes[0], stripes[0]
+	for _, s := range stripes {
+		if s < low {
+			low = s
+		}
+		if s > high {
+			high = s
+		}
+	}
+	threads := sweep[0].Threads
+	for _, p := range sweep {
+		if p.Threads == 8 {
+			threads = 8
+		}
+	}
+	agg := func(wantStripes int, wantUnbatched bool) (checks, signals, thru float64) {
+		var origChecks, wakeups, commits uint64
+		var thruSum float64
+		var cells int
+		for _, p := range sweep {
+			if p.Threads != threads || p.Stripes != wantStripes || p.Unbatched != wantUnbatched {
+				continue
+			}
+			origChecks += p.OrigShardChecks
+			wakeups += p.Wakeups
+			commits += p.Commits
+			thruSum += p.Throughput
+			cells++
+		}
+		if commits > 0 {
+			checks = float64(origChecks) / float64(commits)
+			signals = float64(wakeups) / float64(commits)
+		}
+		if cells > 0 {
+			thru = thruSum / float64(cells)
+		}
+		return
+	}
+	v := &OrigVerdict{
+		Workload:  "origring",
+		Threads:   threads,
+		Baseline:  fmt.Sprintf("%d stripe(s), unbatched", low),
+		Candidate: fmt.Sprintf("%d stripes, batched", high),
+	}
+	v.OrigChecksPerCommitBaseline, v.SignalsPerCommitBaseline, v.ThroughputBaseline = agg(low, true)
+	v.OrigChecksPerCommitCandidate, v.SignalsPerCommitCandidate, v.ThroughputCandidate = agg(high, false)
+	v.ChecksImproved = v.OrigChecksPerCommitCandidate < v.OrigChecksPerCommitBaseline
+	v.SignalsImproved = v.SignalsPerCommitCandidate <= v.SignalsPerCommitBaseline
+	v.Improved = v.ChecksImproved && v.SignalsImproved
+	return v
 }
 
 // verdict aggregates the sweep's wakeup-scan work per commit at the low
@@ -392,9 +642,12 @@ func fill(p *Point, sys *tm.System, secs float64) {
 	p.Deschedules = s.Deschedules.Load()
 	p.Wakeups = s.Wakeups.Load()
 	p.WakeChecks = s.WakeChecks.Load()
+	p.BatchedSignals = s.BatchedSignals.Load()
+	p.OrigShardChecks = s.OrigShardChecks.Load()
 	if p.Commits > 0 {
 		p.WakeupsPerCommit = float64(p.WakeChecks) / float64(p.Commits)
 		p.SignalsPerCommit = float64(p.Wakeups) / float64(p.Commits)
+		p.OrigChecksPerCommit = float64(p.OrigShardChecks) / float64(p.Commits)
 	}
 }
 

@@ -116,6 +116,84 @@ func TestRetryOrigExcludedFromHardwareEngines(t *testing.T) {
 	}
 }
 
+// TestOrigSweepReducesRegistryScan is the sharded Retry-Orig registry's
+// acceptance criterion as a regression test: on the token ring at 8
+// goroutines, the 64-shard registry must examine fewer sleeping entries
+// per commit than the single-shard (global, signal-at-claim) baseline.
+// The effect is structural: with one shard every hand-off commit scans
+// every sleeping worker in the ring; with 64 shards it scans only the
+// entries registered on the stripes its two written slots cover.
+func TestOrigSweepReducesRegistryScan(t *testing.T) {
+	passes := 300
+	if testing.Short() {
+		passes = 60
+	}
+	rep, err := Run(Options{
+		Seed:         1,
+		Threads:      []int{2},
+		Engines:      []string{"eager", "lazy"},
+		Mechs:        []mech.Mechanism{mech.Retry},
+		Workloads:    []string{"buffer"},
+		BufferOps:    20,
+		OrigThreads:  []int{8},
+		OrigPasses:   passes,
+		SweepStripes: []int{1, 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.OrigSweep) != 8 { // 2 engines × 2 stripe counts × {batched, unbatched}
+		t.Fatalf("orig sweep has %d points, want 8", len(rep.OrigSweep))
+	}
+	for _, p := range rep.OrigSweep {
+		if p.Deschedules == 0 {
+			t.Errorf("origring %s stripes=%d unbatched=%v: ring never slept", p.Engine, p.Stripes, p.Unbatched)
+		}
+		if p.Unbatched && p.BatchedSignals != 0 {
+			t.Errorf("origring %s stripes=%d: unbatched point reports %d batched signals", p.Engine, p.Stripes, p.BatchedSignals)
+		}
+	}
+	v := rep.OrigVerdict
+	if v == nil {
+		t.Fatal("orig sweep produced no verdict")
+	}
+	if v.Threads != 8 {
+		t.Fatalf("verdict at %d threads, want 8", v.Threads)
+	}
+	if v.OrigChecksPerCommitBaseline == 0 {
+		t.Fatalf("single-shard baseline measured no registry checks at all: %+v", v)
+	}
+	if !v.ChecksImproved {
+		t.Errorf("registry checks per commit did not improve: baseline %.4f vs sharded %.4f",
+			v.OrigChecksPerCommitBaseline, v.OrigChecksPerCommitCandidate)
+	}
+}
+
+// TestDiffReportsSharedCells: the trajectory diff must line up cells by
+// workload × engine × mechanism × threads and always end with the
+// aggregate line.
+func TestDiffReportsSharedCells(t *testing.T) {
+	run := func() *Report {
+		rep, err := Run(Options{
+			Seed:      1,
+			Threads:   []int{2},
+			Engines:   []string{"eager"},
+			Mechs:     []mech.Mechanism{mech.Retry},
+			Workloads: []string{"buffer"},
+			BufferOps: 30,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	old, cur := run(), run()
+	lines := DiffReports(old, cur)
+	if len(lines) != 2 {
+		t.Fatalf("diff of single-cell reports has %d lines, want cell + total:\n%v", len(lines), lines)
+	}
+}
+
 // TestStripeSweepReducesWakeScan is the PR's acceptance criterion as a
 // regression test: on the lane-partitioned bounded buffer at 8
 // goroutines, the 64-stripe wakeup index must visit fewer waiters per

@@ -31,7 +31,8 @@ func (s *Sem) Wait() {
 
 // TryDrain consumes a pending token without blocking and reports whether
 // one was present. The Deschedule protocol uses it to discard a stale token
-// when a waiter decides not to sleep after all.
+// when a waiter decides not to sleep after all, and — at the start of every
+// sleep cycle — to keep tokens from one cycle from leaking into the next.
 func (s *Sem) TryDrain() bool {
 	select {
 	case <-s.ch:
@@ -39,4 +40,38 @@ func (s *Sem) TryDrain() bool {
 	default:
 		return false
 	}
+}
+
+// Batch accumulates semaphores to be signalled together, after the caller
+// has released whatever locks it scanned under — the per-commit form of the
+// paper's deferred semaphore operations (Algorithm 4 line 9). A committing
+// writer CAS-claims every waiter it should wake into a Batch while walking
+// its shards, then issues every signal in one burst with SignalAll.
+//
+// The zero value is an empty batch ready for use. A Batch is not safe for
+// concurrent use; each committing thread builds its own.
+type Batch struct {
+	sems []*Sem
+}
+
+// Add appends a semaphore to the batch. The caller must already hold the
+// exclusive claim on the corresponding waiter (the asleep/woken CAS), so
+// the same waiter can never be added twice for one sleep cycle.
+func (b *Batch) Add(s *Sem) {
+	b.sems = append(b.sems, s)
+}
+
+// Len reports the number of pending signals.
+func (b *Batch) Len() int { return len(b.sems) }
+
+// SignalAll delivers every pending signal, empties the batch (retaining
+// capacity for reuse), and returns the number of signals issued.
+func (b *Batch) SignalAll() int {
+	n := len(b.sems)
+	for i, s := range b.sems {
+		s.Signal()
+		b.sems[i] = nil
+	}
+	b.sems = b.sems[:0]
+	return n
 }

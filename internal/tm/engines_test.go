@@ -558,7 +558,11 @@ func TestStatsCommitCounts(t *testing.T) {
 func TestPostCommitHookFiresOnWritesOnly(t *testing.T) {
 	forEachEngine(t, func(t *testing.T, sys *tm.System) {
 		var fired int
-		sys.PostCommit = func(t *tm.Thread) { fired++ }
+		var sawStripes int
+		sys.PostCommit = func(t *tm.Thread, writeOrecs, writeStripes []uint32) {
+			fired++
+			sawStripes += len(writeStripes)
+		}
 		thr := sys.NewThread()
 		var x uint64
 		thr.Atomic(func(tx *tm.Tx) { tx.Write(&x, 1) })
@@ -566,6 +570,9 @@ func TestPostCommitHookFiresOnWritesOnly(t *testing.T) {
 		thr.Atomic(func(tx *tm.Tx) { tx.Write(&x, 2) })
 		if fired != 2 {
 			t.Fatalf("PostCommit fired %d times, want 2", fired)
+		}
+		if sawStripes != 2 {
+			t.Fatalf("PostCommit saw %d write stripes across 2 writer commits, want 2", sawStripes)
 		}
 	})
 }

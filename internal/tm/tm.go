@@ -413,6 +413,21 @@ type Stats struct {
 	// is the O(write set) wakeup cost the sharding buys; with one stripe
 	// it degenerates to the old O(waiters) global scan.
 	WakeChecks atomic.Uint64
+
+	// BatchedSignals counts semaphore signals delivered through the
+	// per-commit wakeup batch: claims accumulated during the post-commit
+	// scan and issued together after the last shard lock is released
+	// (the per-commit form of Algorithm 4's deferred semaphore
+	// operations). Zero when Config.UnbatchedWakeups reverts to
+	// signal-at-claim delivery.
+	BatchedSignals atomic.Uint64
+
+	// OrigShardChecks counts Retry-Orig registry entries examined by
+	// committing writers' origWake scans. With the per-stripe registry
+	// shards a writer examines only the entries registered on stripes in
+	// its lock set; with one stripe this degenerates to the old global
+	// every-sleeper scan.
+	OrigShardChecks atomic.Uint64
 }
 
 // Attempts returns the total number of finished transaction attempts
@@ -447,6 +462,8 @@ func (s *Stats) Snapshot() map[string]uint64 {
 		"futile_wakeups":    s.FutileWakeups.Load(),
 		"serializations":    s.Serializations.Load(),
 		"wake_checks":       s.WakeChecks.Load(),
+		"batched_signals":   s.BatchedSignals.Load(),
+		"orig_shard_checks": s.OrigShardChecks.Load(),
 	}
 }
 
@@ -481,6 +498,14 @@ type Config struct {
 	// WaitPred deschedules directly from a hardware abort instead of
 	// re-executing in software mode first.
 	HTMWaitPredFastPath bool
+	// UnbatchedWakeups reverts the post-commit wakeup to signal-at-claim
+	// delivery: each waiter's semaphore is signalled the moment its
+	// predicate check claims it, instead of being accumulated into a
+	// per-commit batch issued after the scan completes. Purely a
+	// performance/measurement knob — delivery order is the only thing
+	// that changes, so any setting must yield identical observable
+	// outcomes (the differential harness checks both).
+	UnbatchedWakeups bool
 }
 
 func (c Config) withDefaults() Config {
@@ -517,7 +542,14 @@ type System struct {
 	// PostCommit, if set, runs on the committing thread after every
 	// writer commit (wakeWaiters of Algorithm 4). It is not re-entered
 	// for commits performed inside the hook itself.
-	PostCommit func(t *Thread)
+	//
+	// writeOrecs and writeStripes are the committed attempt's lock set
+	// and the stripes it covers, captured by the driver before any
+	// OnCommit callback or nested transaction could overwrite per-thread
+	// state. The hook must treat them as read-only and must not retain
+	// them past its return: the driver recycles the backing arrays for
+	// the thread's next commit.
+	PostCommit func(t *Thread, writeOrecs, writeStripes []uint32)
 
 	// Ext points at the condition-synchronization layer (package core)
 	// when one is enabled; tm itself never inspects it.
@@ -614,14 +646,15 @@ type Thread struct {
 	// deschedule (captured-memory rule of Algorithm 6).
 	DeferredAllocs [][]uint64
 
-	// LastWriteOrecs snapshots the orec slots written by the most recent
-	// committed transaction, for the PostCommit hook (Retry-Orig).
-	LastWriteOrecs []uint32
-
-	// LastWriteStripes snapshots the orec-table stripes written by the
-	// most recent committed transaction; the PostCommit hook's wakeup
-	// scan visits only these stripes' waiter shards.
-	LastWriteStripes []uint32
+	// postOrecs/postStripes are the scratch buffers the driver copies a
+	// committed attempt's write orecs and stripes into before handing
+	// them to the PostCommit hook. They are swapped out (set nil) for
+	// the duration of the deferred OnCommit callbacks and the hook
+	// itself, so a callback that commits its own transaction on this
+	// thread allocates a fresh buffer instead of clobbering the capture
+	// the outer commit's wake scan is about to use.
+	postOrecs   []uint32
+	postStripes []uint32
 
 	inPostCommit bool
 	backoff      spin.Backoff
@@ -793,8 +826,16 @@ func (t *Thread) attempt(tx *Tx, fn func(tx *Tx)) (res attemptResult) {
 	t.Sys.ExitSerialIfHeld(tx)
 	tx.Nesting = 0
 	t.ActiveStart.Store(0)
-	t.LastWriteOrecs = append(t.LastWriteOrecs[:0], tx.WriteOrecs...)
-	t.LastWriteStripes = append(t.LastWriteStripes[:0], tx.WriteStripes...)
+	// Capture the write set into the thread's scratch buffers and detach
+	// them: deferred OnCommit callbacks below may run whole transactions on
+	// this thread (e.g. a condition-variable signal chain), and those
+	// nested commits must not reuse — and thereby clobber — the backing
+	// arrays the outer commit's wake scan is about to be handed. A nested
+	// commit finds postOrecs nil, allocates its own capture, and restores
+	// it on return; our locals stay intact throughout.
+	writeOrecs := append(t.postOrecs[:0], tx.WriteOrecs...)
+	writeStripes := append(t.postStripes[:0], tx.WriteStripes...)
+	t.postOrecs, t.postStripes = nil, nil
 	deferred := tx.OnCommit
 	tx.OnCommit = nil
 	tx.resetAfterAttempt(true)
@@ -808,9 +849,10 @@ func (t *Thread) attempt(tx *Tx, fn func(tx *Tx)) (res attemptResult) {
 	}
 	if wrote && t.Sys.PostCommit != nil && !t.inPostCommit {
 		t.inPostCommit = true
-		t.Sys.PostCommit(t)
+		t.Sys.PostCommit(t, writeOrecs, writeStripes)
 		t.inPostCommit = false
 	}
+	t.postOrecs, t.postStripes = writeOrecs[:0], writeStripes[:0]
 	return attemptResult{kind: attemptCommitted}
 }
 
