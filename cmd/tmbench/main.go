@@ -7,15 +7,22 @@
 // sweep (a token ring of Retry-Orig sleepers at 8 and 16 goroutines,
 // sharded/global × batched/unbatched) to measure the registry-scan and
 // signal-delivery cost the sharded registry and the per-commit signal
-// batch remove, and writes one machine-readable JSON report (schema
-// tmsync-bench/1; see README "Benchmark pipeline").
+// batch remove, runs the adaptive-vs-static sweep (the same wakeup-bound
+// cells with the online stripe controller enabled and a deliberately
+// wrong one-stripe start, judged against the best static configuration),
+// and writes one machine-readable JSON report (schema tmsync-bench/1; see
+// README "Benchmark pipeline").
 //
 // Usage:
 //
-//	go run ./cmd/tmbench -seed 1 -threads 1,2,4,8          # full sweep -> BENCH_PR3.json
+//	go run ./cmd/tmbench -seed 1 -threads 1,2,4,8          # full sweep -> BENCH_PR4.json
 //	go run ./cmd/tmbench -quick -out /tmp/bench.json       # reduced ops (CI, smoke)
 //	go run ./cmd/tmbench -workloads buffer -mechs retry    # narrow the axes
-//	go run ./cmd/tmbench -diff BENCH_PR2.json              # trajectory diff vs a prior report
+//	go run ./cmd/tmbench -diff BENCH_PR3.json              # trajectory diff vs a prior report
+//
+// The trajectory diff defaults to the previous PR's committed report and
+// is skipped with a note when that file is absent; an explicitly named
+// -diff report that cannot be loaded is fatal.
 //
 // Exit status is non-zero if any workload self-check fails (a PARSEC
 // checksum deviating from its sequential reference, or ring-token
@@ -48,24 +55,34 @@ func main() {
 	sweepFlag := flag.String("sweep-stripes", "1,64", "stripe counts for the bounded-buffer stripe sweep and the Retry-Orig sweep")
 	origThreadsFlag := flag.String("orig-threads", "8,16", "goroutine counts for the Retry-Orig contention sweep (empty = skip)")
 	origPasses := flag.Int("orig-passes", 0, "token hand-offs per Retry-Orig ring worker (0 = default)")
+	adaptiveThreadsFlag := flag.String("adaptive-threads", "8", "goroutine counts for the adaptive-vs-static stripe sweep (empty = skip)")
+	adaptiveOrigPasses := flag.Int("adaptive-orig-passes", 0, "token hand-offs per ring worker in the adaptive Retry-Orig cells (0 = default)")
 	noBaseline := flag.Bool("no-baseline", false, "skip the Pthreads lock+condvar baseline rows")
 	quick := flag.Bool("quick", false, "reduced operation counts (CI and smoke tests)")
-	out := flag.String("out", "BENCH_PR3.json", "output path for the JSON report")
-	diff := flag.String("diff", "", "prior report (e.g. BENCH_PR2.json) to diff wake-checks/commit and signals/commit against")
+	out := flag.String("out", "BENCH_PR4.json", "output path for the JSON report")
+	diff := flag.String("diff", "BENCH_PR3.json", "prior report to diff wake-checks/commit and signals/commit against (\"\" = skip); a missing file is fatal only when -diff was given explicitly")
 	verbose := flag.Bool("v", false, "per-point progress lines")
 	flag.Parse()
+	diffExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "diff" {
+			diffExplicit = true
+		}
+	})
 
 	o := perf.Options{
-		Seed:         *seed,
-		Threads:      parseInts(*threadsFlag, "threads"),
-		BufferOps:    *ops,
-		BufferCap:    *bufCap,
-		Scale:        *scale,
-		Trials:       *trials,
-		SweepStripes: parseInts(*sweepFlag, "sweep-stripes"),
-		OrigThreads:  parseInts(*origThreadsFlag, "orig-threads"),
-		OrigPasses:   *origPasses,
-		Baseline:     !*noBaseline,
+		Seed:               *seed,
+		Threads:            parseInts(*threadsFlag, "threads"),
+		BufferOps:          *ops,
+		BufferCap:          *bufCap,
+		Scale:              *scale,
+		Trials:             *trials,
+		SweepStripes:       parseInts(*sweepFlag, "sweep-stripes"),
+		OrigThreads:        parseInts(*origThreadsFlag, "orig-threads"),
+		OrigPasses:         *origPasses,
+		AdaptiveThreads:    parseInts(*adaptiveThreadsFlag, "adaptive-threads"),
+		AdaptiveOrigPasses: *adaptiveOrigPasses,
+		Baseline:           !*noBaseline,
 	}
 	if *enginesFlag != "" {
 		o.Engines = strings.Split(*enginesFlag, ",")
@@ -88,17 +105,26 @@ func main() {
 		if o.OrigPasses == 0 {
 			o.OrigPasses = 50
 		}
+		if o.AdaptiveOrigPasses == 0 {
+			o.AdaptiveOrigPasses = 300
+		}
 	}
 
 	// Load the prior report before the sweep so a bad -diff path fails
-	// fast instead of discarding an hour of measurement.
+	// fast instead of discarding an hour of measurement. The default diff
+	// target is the previous PR's committed report, which a fresh
+	// checkout may legitimately lack — skip with a note in that case, and
+	// fail only when the user named a report explicitly.
 	var prior *perf.Report
 	if *diff != "" {
 		var err error
 		prior, err = perf.LoadReport(*diff)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tmbench:", err)
-			os.Exit(1)
+			if diffExplicit {
+				fmt.Fprintln(os.Stderr, "tmbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "tmbench: no trajectory diff: %v (pass -diff explicitly to make this fatal)\n", err)
 		}
 	}
 	if *verbose {
@@ -125,8 +151,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("benchmark report: %d points + %d stripe-sweep points + %d orig-sweep points -> %s\n",
-		len(rep.Points), len(rep.StripeSweep), len(rep.OrigSweep), *out)
+	fmt.Printf("benchmark report: %d points + %d stripe-sweep points + %d orig-sweep points + %d adaptive points -> %s\n",
+		len(rep.Points), len(rep.StripeSweep), len(rep.OrigSweep), len(rep.AdaptiveSweep), *out)
 	if v := rep.StripeVerdict; v != nil {
 		fmt.Printf("stripe sweep (%s, %d goroutines): wakeup checks per commit %.2f @ %d stripe(s) vs %.2f @ %d stripes\n",
 			v.Workload, v.Threads, v.WakeupsPerCommitLow, v.LowStripes, v.WakeupsPerCommitHigh, v.HighStripes)
@@ -146,6 +172,18 @@ func main() {
 			fmt.Println("retry-orig verdict: IMPROVED (sharded registry scans fewer sleepers; batched delivery signals no more)")
 		} else {
 			fmt.Println("retry-orig verdict: no improvement measured on this run")
+		}
+	}
+	if v := rep.AdaptiveVerdict; v != nil {
+		fmt.Printf("adaptive sweep (%d goroutines, start %d stripe, bounds [1, %d]):\n", v.Threads, v.StartStripes, v.MaxStripes)
+		fmt.Printf("  buffer   wake-checks/commit: best static %.3f @ %d stripes, adaptive %.3f (within 10%%: %v)\n",
+			v.BufferChecksPerCommitBest, v.BufferBestStaticStripes, v.BufferChecksPerCommitAdap, v.BufferWithin10Pct)
+		fmt.Printf("  origring orig-checks/commit: best static %.3f @ %d stripes, adaptive %.3f (within 10%%: %v)\n",
+			v.OrigChecksPerCommitBest, v.OrigBestStaticStripes, v.OrigChecksPerCommitAdap, v.OrigWithin10Pct)
+		if v.Converged {
+			fmt.Println("adaptive verdict: CONVERGED (controller lands within 10% of the best static configuration)")
+		} else {
+			fmt.Println("adaptive verdict: did not land within 10% of the best static configuration on this run")
 		}
 	}
 	if prior != nil {

@@ -13,6 +13,7 @@
 //	go run ./cmd/tmcheck -budget 30s            # as many scenarios as fit
 //	go run ./cmd/tmcheck -parsec -scale 2       # PARSEC skeletons instead
 //	go run ./cmd/tmcheck -n 5 -inject           # prove the checker detects faults
+//	go run ./cmd/tmcheck -n 15 -adaptive        # forced online stripe resizes (1->4->64->16)
 //
 // Exit status is 0 iff every execution matched its oracle (inverted under
 // -inject: the run fails if any injected fault goes undetected).
@@ -38,6 +39,8 @@ func main() {
 	budget := flag.Duration("budget", 0, "stop starting new scenarios after this much time (0 = no budget)")
 	engine := flag.String("engine", "", "restrict to one engine (default: all four)")
 	stripes := flag.Int("stripes", 0, "orec-table stripe count for every system (0 = default); any power of two must yield identical outcomes")
+	adaptive := flag.Bool("adaptive", false, "force a deterministic online stripe-resize schedule (1 -> 4 -> 64 -> 16, cycling) while the suite runs; resizing is a pure performance mechanism, so outcomes must be identical")
+	resizeEvery := flag.Int("resize-every", 10, "writer commits between forced resizes (with -adaptive)")
 	unbatched := flag.Bool("unbatched", false, "signal-at-claim wakeup delivery instead of the per-commit batch; must yield identical outcomes")
 	only := flag.String("mech", "", "restrict to one mechanism (default: all applicable)")
 	parsec := flag.Bool("parsec", false, "check the eight PARSEC skeletons instead of random scenarios")
@@ -73,12 +76,29 @@ func main() {
 		engines = []string{*engine}
 	}
 
+	knobs := harness.Knobs{Stripes: *stripes, Unbatched: *unbatched}
+	if *adaptive {
+		// The forced schedule drives the stripe count through growth,
+		// large jumps, and shrinkage (1 -> 4 -> 64 -> 16, cycling) while
+		// waiters sleep across the swaps; every engine x mechanism run
+		// must still match the sequential oracle exactly.
+		if *resizeEvery <= 0 {
+			fmt.Fprintln(os.Stderr, "tmcheck: -resize-every must be positive")
+			os.Exit(2)
+		}
+		if knobs.Stripes == 0 {
+			knobs.Stripes = 1 // start deliberately wrong: the old global table
+		}
+		knobs.ResizeEvery = *resizeEvery
+		knobs.ResizeSchedule = []int{4, 64, 16, 1}
+	}
+
 	var rep harness.Report
 	start := time.Now()
 	scenarios := 0
 
 	runOne := func(s *harness.Scenario) {
-		results := harness.RunScenarioKnobs(s, engines, mech.Mechanism(*only), harness.Knobs{Stripes: *stripes, Unbatched: *unbatched})
+		results := harness.RunScenarioKnobs(s, engines, mech.Mechanism(*only), knobs)
 		rep.Add(results)
 		scenarios++
 		failed := 0

@@ -129,6 +129,7 @@ func (v *Var) Wait(tx *tm.Tx) {
 		w:            w,
 		wrote:        wrote,
 		deferred:     deferred,
+		gen:          tx.TableView.Gen,
 		writeOrecs:   append([]uint32(nil), tx.WriteOrecs...),
 		writeStripes: append([]uint32(nil), tx.WriteStripes...),
 	})
@@ -141,7 +142,11 @@ type waitSignal struct {
 	deferred []func()
 
 	// writeOrecs/writeStripes carry the punctuation commit's captured
-	// write set to the post-commit wake scan in Handle.
+	// write set to the post-commit wake scan in Handle; gen is the
+	// orec-table stripe geometry they were named under (an online resize
+	// between the punctuation commit and the scan makes the hook
+	// re-derive or full-scan, exactly as for an ordinary commit).
+	gen          uint64
 	writeOrecs   []uint32
 	writeStripes []uint32
 }
@@ -159,7 +164,7 @@ func (s waitSignal) Handle(tx *tm.Tx) tm.Outcome {
 		f()
 	}
 	if s.wrote && sys.PostCommit != nil {
-		sys.PostCommit(tx.Thr, s.writeOrecs, s.writeStripes)
+		sys.PostCommit(tx.Thr, s.gen, s.writeOrecs, s.writeStripes)
 	}
 	s.w.s.Wait()
 	// Withdraw the queue entry if a stale coalesced token woke us before a

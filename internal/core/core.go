@@ -16,6 +16,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 	"unsafe"
 
@@ -32,19 +33,16 @@ type Pred func(tx *tm.Tx, args []uint64) bool
 
 // Waiter is one published deschedule request. A fresh Waiter is created
 // per deschedule so that late wakeWaiters scans holding a stale snapshot
-// of the registry only ever observe immutable fields.
+// of the registry only ever observe immutable fields. Which waiter-index
+// shards the waiter occupies is a pure function of its waitset and the
+// registry generation's stripe geometry, recomputed per generation (the
+// waiter itself records nothing: an online stripe resize migrates it to
+// the new geometry's shards without touching it).
 type Waiter struct {
 	Thr     *tm.Thread
 	Pred    Pred
 	Args    []uint64
 	Waitset []tm.AddrVal
-
-	// shards lists the waiter-index shards (orec-table stripes) this
-	// waiter is registered on, derived from the waitset's addresses at
-	// insertion. Empty for unindexed waiters (no waitset: an arbitrary
-	// WaitPred predicate can read anything, so every committing writer
-	// must re-evaluate it). Written before publication, immutable after.
-	shards []uint32
 
 	// asleep is true from publication until a waker (or the waiter
 	// itself, deciding not to sleep) claims the wakeup with a CAS;
@@ -56,20 +54,26 @@ type Waiter struct {
 // transaction's read-set metadata, to be intersected with committing
 // writers' lock sets. The entry is registered on every registry shard
 // (orec-table stripe) its read set covers; woken arbitrates between
-// concurrent wakers on different shards, the entry's own withdrawal on a
-// validation failure, and a spurious (stale-token) wakeup — whichever
-// wins the CAS owns the entry's single wakeup.
+// concurrent wakers on different shards, the entry's own withdrawal, and
+// a spurious (stale-token) wakeup — whichever wins the CAS owns the
+// entry's single wakeup. slots duplicates the orecs keys as a slice so
+// shard membership can be recomputed under any stripe geometry.
 type origWaiter struct {
-	thr     *tm.Thread
-	orecs   map[uint32]struct{}
-	stripes []uint32 // registry shards the entry was inserted on (ascending)
-	woken   atomic.Bool
+	thr   *tm.Thread
+	orecs map[uint32]struct{}
+	slots []uint32
+	woken atomic.Bool
 }
 
 // waiterShard is one shard of the waiter index: the waiters whose
-// waitsets touch one orec-table stripe.
+// waitsets touch one orec-table stripe. moved is set — under mu, with
+// every shard of the generation locked — when an online stripe resize has
+// migrated the shard's waiters to a newer generation: mutators that find
+// it set reload the current generation and retry, while scans may keep
+// reading the (intact, now-stale) list safely.
 type waiterShard struct {
 	mu      spin.Lock
+	moved   bool
 	waiters []*Waiter
 }
 
@@ -82,9 +86,11 @@ type paddedShard struct {
 }
 
 // origShard is one shard of the Retry-Orig registry: the entries whose
-// read-set orecs touch one orec-table stripe.
+// read-set orecs touch one orec-table stripe. moved works exactly as in
+// waiterShard.
 type origShard struct {
 	mu      spin.Lock
+	moved   bool
 	waiters []*origWaiter
 }
 
@@ -95,47 +101,74 @@ type paddedOrigShard struct {
 	_ [(64 - unsafe.Sizeof(origShard{})%64) % 64]byte
 }
 
+// tier is one generation of the sharded condition-synchronization
+// registries: the per-stripe waiter index and the sharded Retry-Orig
+// registry, both sized to one stripe geometry of the orec table. An
+// online stripe resize builds a fresh tier for the new geometry, migrates
+// every live waiter into it under all of the old tier's shard locks, and
+// publishes it; the old tier's lists are left intact, so a committing
+// writer that loaded the old tier before the swap still finds every
+// waiter that was published before its commit (see wakeWaiters).
+type tier struct {
+	view       locktable.View
+	shards     []paddedShard
+	origShards []paddedOrigShard
+}
+
+func newTier(view locktable.View) *tier {
+	return &tier{
+		view:       view,
+		shards:     make([]paddedShard, view.NumStripes()),
+		origShards: make([]paddedOrigShard, view.NumStripes()),
+	}
+}
+
 // CondSync is the condition-synchronization runtime attached to one
 // tm.System.
 type CondSync struct {
 	sys *tm.System
 
-	// shards is the per-stripe waiter index, one shard per orec-table
-	// stripe: a waiter with a waitset registers on exactly the stripes
-	// covering its waitset addresses, and a committing writer visits only
-	// the shards of stripes in its write set (Algorithm 4's wakeup made
-	// O(write set) instead of O(waiters)). A one-stripe table degenerates
-	// to the old single global list, which the differential harness uses
-	// to prove the index observably equivalent.
-	shards []paddedShard
+	// tier is the current generation of the sharded registries:
+	//
+	//   - the per-stripe waiter index, one shard per orec-table stripe: a
+	//     waiter with a waitset registers on exactly the stripes covering
+	//     its waitset addresses, and a committing writer visits only the
+	//     shards of stripes in its write set (Algorithm 4's wakeup made
+	//     O(write set) instead of O(waiters));
+	//   - the sharded Retry-Orig registry. Algorithm 1 guards the
+	//     registry with a single global lock to make read-set validation
+	//     atomic with insertion; here that atomicity is preserved across
+	//     the shards covering an entry's read set, taken together, so a
+	//     committing writer's origWake takes only the locks of stripes in
+	//     its captured lock set.
+	//
+	// A one-stripe geometry degenerates to the old global list and global
+	// registry, which the differential harness uses to prove the sharding
+	// observably equivalent; running the suite under a forced resize
+	// schedule proves the same for the online swap.
+	tier atomic.Pointer[tier]
 
 	// mu/waiters is the unindexed list: waiters without a waitset
 	// (WaitPred's arbitrary predicates) can depend on any location, so
-	// every committing writer re-evaluates them.
+	// every committing writer re-evaluates them. Unindexed waiters name
+	// no stripes and are untouched by resizes.
 	mu      spin.Lock
 	waiters []*Waiter
 
-	// origShards is the sharded Retry-Orig registry, one shard per
-	// orec-table stripe. Algorithm 1 guards the registry with a single
-	// global lock to make read-set validation atomic with insertion; here
-	// that atomicity is preserved per shard — an entry's orecs are
-	// validated and the entry inserted under the lock of the shard that
-	// covers them, one shard at a time — so a committing writer's
-	// origWake takes only the locks of stripes in its captured lock set.
-	// A one-stripe table degenerates to the original global registry,
-	// which the differential harness uses to prove equivalence.
-	origShards []paddedOrigShard
+	// resizeMu serializes online stripe resizes (adaptive-controller
+	// decisions, forced schedules, and tests alike).
+	resizeMu sync.Mutex
+
+	ctl controller
 }
 
 // Enable attaches a condition-synchronization runtime to sys and installs
 // the post-commit wakeWaiters hook. It must be called once, before any
 // transactions run.
 func Enable(sys *tm.System) *CondSync {
-	cs := &CondSync{
-		sys:        sys,
-		shards:     make([]paddedShard, sys.Table.NumStripes()),
-		origShards: make([]paddedOrigShard, sys.Table.NumStripes()),
-	}
+	cs := &CondSync{sys: sys}
+	cs.tier.Store(newTier(sys.Table.Current()))
+	cs.ctl.init(sys.Cfg)
 	sys.Ext = cs
 	sys.PostCommit = cs.postCommit
 	return cs
@@ -150,46 +183,96 @@ func For(tx *tm.Tx) *CondSync {
 	return cs
 }
 
-// shardsOf maps a waitset to the deduplicated set of waiter-index shards
-// covering its addresses. The count is bounded by the stripe count, and
-// waitsets touch few stripes, so a linear dedup beats a map.
-func (cs *CondSync) shardsOf(ws []tm.AddrVal) []uint32 {
-	var out []uint32
+// shardsOf maps a waitset to the deduplicated, ascending set of
+// waiter-index shards covering its addresses under view v. Ascending
+// order matters: every multi-shard lock acquisition in this package goes
+// low-to-high, which (together with the migration locking every shard the
+// same way) rules out deadlock.
+func (cs *CondSync) shardsOf(v locktable.View, ws []tm.AddrVal) []uint32 {
+	if len(ws) == 0 {
+		return nil
+	}
 	tbl := cs.sys.Table
+	slots := make([]uint32, len(ws))
 	for i := range ws {
-		s := tbl.StripeOf(tbl.IndexOf(ws[i].Addr))
-		dup := false
-		for _, x := range out {
-			if x == s {
-				dup = true
-				break
+		slots[i] = tbl.IndexOf(ws[i].Addr)
+	}
+	return v.StripesOf(slots, nil)
+}
+
+// lockShards acquires the waiter-index shard locks for the given
+// ascending stripe set. If any shard was migrated to a newer tier it
+// releases everything acquired and reports false: the caller must reload
+// the current tier and retry. Holding every covering lock at once (rather
+// than one at a time) means a mutation is atomic with respect to the
+// migration, which takes all of a generation's locks — a waiter can never
+// be half-inserted when its shards are carried to a new geometry.
+func (ti *tier) lockShards(ss []uint32) bool {
+	for i, s := range ss {
+		sh := &ti.shards[s].waiterShard
+		sh.mu.Lock()
+		if sh.moved {
+			for j := i; j >= 0; j-- {
+				ti.shards[ss[j]].mu.Unlock()
 			}
-		}
-		if !dup {
-			out = append(out, s)
+			return false
 		}
 	}
-	return out
+	return true
+}
+
+func (ti *tier) unlockShards(ss []uint32) {
+	for _, s := range ss {
+		ti.shards[s].mu.Unlock()
+	}
+}
+
+// lockOrigShards / unlockOrigShards are lockShards for the Retry-Orig
+// registry shards.
+func (ti *tier) lockOrigShards(ss []uint32) bool {
+	for i, s := range ss {
+		sh := &ti.origShards[s].origShard
+		sh.mu.Lock()
+		if sh.moved {
+			for j := i; j >= 0; j-- {
+				ti.origShards[ss[j]].mu.Unlock()
+			}
+			return false
+		}
+	}
+	return true
+}
+
+func (ti *tier) unlockOrigShards(ss []uint32) {
+	for _, s := range ss {
+		ti.origShards[s].mu.Unlock()
+	}
 }
 
 // insert publishes a waiter: indexed waiters register on every shard their
-// waitset touches (a writer that changes a waitset value necessarily
-// writes an address covered by one of those stripes, so no wakeup can be
-// missed); waiters without a waitset go to the unindexed list scanned by
-// every committing writer.
+// waitset touches under the current stripe geometry (a writer that changes
+// a waitset value necessarily writes an address covered by one of those
+// stripes, so no wakeup can be missed); waiters without a waitset go to
+// the unindexed list scanned by every committing writer.
 func (cs *CondSync) insert(w *Waiter) {
-	w.shards = cs.shardsOf(w.Waitset)
-	if len(w.shards) == 0 {
+	if len(w.Waitset) == 0 {
 		cs.mu.Lock()
 		cs.waiters = append(cs.waiters, w)
 		cs.mu.Unlock()
 		return
 	}
-	for _, s := range w.shards {
-		sh := &cs.shards[s].waiterShard
-		sh.mu.Lock()
-		sh.waiters = append(sh.waiters, w)
-		sh.mu.Unlock()
+	for {
+		ti := cs.tier.Load()
+		ss := cs.shardsOf(ti.view, w.Waitset)
+		if !ti.lockShards(ss) {
+			continue
+		}
+		for _, s := range ss {
+			sh := &ti.shards[s].waiterShard
+			sh.waiters = append(sh.waiters, w)
+		}
+		ti.unlockShards(ss)
+		return
 	}
 }
 
@@ -204,18 +287,30 @@ func removeFrom(ws []*Waiter, w *Waiter) []*Waiter {
 	return ws
 }
 
+// remove withdraws a waiter from the current tier. If the waiter was
+// inserted under an older geometry, the migration has carried it (still
+// asleep) into the current tier's shards — recomputing the shard set from
+// the waitset finds it there; a waiter whose wakeup was already claimed
+// when a migration ran was dropped by it, making this a no-op.
 func (cs *CondSync) remove(w *Waiter) {
-	if len(w.shards) == 0 {
+	if len(w.Waitset) == 0 {
 		cs.mu.Lock()
 		cs.waiters = removeFrom(cs.waiters, w)
 		cs.mu.Unlock()
 		return
 	}
-	for _, s := range w.shards {
-		sh := &cs.shards[s].waiterShard
-		sh.mu.Lock()
-		sh.waiters = removeFrom(sh.waiters, w)
-		sh.mu.Unlock()
+	for {
+		ti := cs.tier.Load()
+		ss := cs.shardsOf(ti.view, w.Waitset)
+		if !ti.lockShards(ss) {
+			continue
+		}
+		for _, s := range ss {
+			sh := &ti.shards[s].waiterShard
+			sh.waiters = removeFrom(sh.waiters, w)
+		}
+		ti.unlockShards(ss)
+		return
 	}
 }
 
@@ -257,8 +352,9 @@ func (cs *CondSync) WaitingLen() int {
 		seen[w] = struct{}{}
 	}
 	cs.mu.Unlock()
-	for i := range cs.shards {
-		sh := &cs.shards[i].waiterShard
+	ti := cs.tier.Load()
+	for i := range ti.shards {
+		sh := &ti.shards[i].waiterShard
 		sh.mu.Lock()
 		for _, w := range sh.waiters {
 			seen[w] = struct{}{}
@@ -275,8 +371,9 @@ func (cs *CondSync) WaitingLen() int {
 // not count.
 func (cs *CondSync) OrigWaitingLen() int {
 	seen := make(map[*origWaiter]struct{})
-	for i := range cs.origShards {
-		sh := &cs.origShards[i].origShard
+	ti := cs.tier.Load()
+	for i := range ti.origShards {
+		sh := &ti.origShards[i].origShard
 		sh.mu.Lock()
 		for _, ow := range sh.waiters {
 			if !ow.woken.Load() {
@@ -301,13 +398,14 @@ func (cs *CondSync) OrigWaitingLen() int {
 // deferred semaphore operations. Config.UnbatchedWakeups reverts to
 // signal-at-claim delivery for measurement; the observable outcome is
 // identical either way.
-func (cs *CondSync) postCommit(t *tm.Thread, writeOrecs, writeStripes []uint32) {
+func (cs *CondSync) postCommit(t *tm.Thread, gen uint64, writeOrecs, writeStripes []uint32) {
 	var batch sem.Batch
-	cs.wakeWaiters(t, writeStripes, &batch)
+	cs.wakeWaiters(t, gen, writeOrecs, writeStripes, &batch)
 	cs.origWake(writeOrecs, &batch)
 	if n := batch.SignalAll(); n > 0 {
 		cs.sys.Stats.BatchedSignals.Add(uint64(n))
 	}
+	cs.maybeAdapt()
 }
 
 // deliver routes one claimed waiter's wakeup: into the per-commit batch by
@@ -326,16 +424,39 @@ func (cs *CondSync) deliver(batch *sem.Batch, s *sem.Sem) {
 // set shares no stripe with it and is never examined — plus the unindexed
 // list. Should a writer commit ever fail to record its stripes, fall back
 // to scanning every shard rather than risk a lost wakeup.
-func (cs *CondSync) wakeWaiters(t *tm.Thread, touched []uint32, batch *sem.Batch) {
+//
+// The scan runs against the tier current at scan time, which may be a
+// different generation than the commit's: engines abort stale-generation
+// writers at commit time, but a resize can still land between an
+// attempt's generation check and this scan. Mismatches are handled
+// conservatively — the touched stripes are re-derived from the lock set
+// under the scan tier's geometry, or everything is scanned when the
+// engine recorded no orecs (the HTM serial fallback). Scanning a tier
+// that has since been migrated away from is also safe: its lists are left
+// intact by the migration, so they still contain every waiter published
+// before this commit's writes became visible, and a waiter published
+// later (necessarily into a newer tier) re-checked its predicate after
+// those writes were already visible.
+func (cs *CondSync) wakeWaiters(t *tm.Thread, gen uint64, writeOrecs, touched []uint32, batch *sem.Batch) {
+	ti := cs.tier.Load()
+	var stripeBuf [16]uint32
+	if gen != ti.view.Gen {
+		if len(writeOrecs) > 0 {
+			touched = ti.view.StripesOf(writeOrecs, stripeBuf[:0])
+		} else {
+			touched = nil
+		}
+	}
 	if len(touched) == 0 {
-		cs.wakeAllShards(t, batch)
+		cs.wakeAllShards(t, ti, batch)
 		return
 	}
 	var seen map[*Waiter]struct{}
 	for _, s := range touched {
-		for _, w := range cs.shards[s].snapshot() {
-			if len(touched) > 1 && len(w.shards) > 1 {
-				// Registered on several touched stripes: visit once.
+		for _, w := range ti.shards[s].snapshot() {
+			if len(touched) > 1 {
+				// The waiter may be registered on several touched
+				// stripes: visit once.
 				if seen == nil {
 					seen = make(map[*Waiter]struct{}, 8)
 				}
@@ -354,9 +475,9 @@ func (cs *CondSync) wakeWaiters(t *tm.Thread, touched []uint32, batch *sem.Batch
 
 // wakeAllShards is the conservative full scan (also the exact behaviour of
 // a one-stripe table).
-func (cs *CondSync) wakeAllShards(t *tm.Thread, batch *sem.Batch) {
-	for i := range cs.shards {
-		for _, w := range cs.shards[i].snapshot() {
+func (cs *CondSync) wakeAllShards(t *tm.Thread, ti *tier, batch *sem.Batch) {
+	for i := range ti.shards {
+		for _, w := range ti.shards[i].snapshot() {
 			cs.tryWake(t, w, batch)
 		}
 	}
@@ -396,11 +517,15 @@ func (cs *CondSync) origWake(writeOrecs []uint32, batch *sem.Batch) {
 	if len(writeOrecs) == 0 {
 		return
 	}
+	// The covering stripes are always derived here, under the scan tier's
+	// own geometry, so the scan and the registry agree on what a stripe
+	// means regardless of which generation the writer committed under.
+	ti := cs.tier.Load()
 	var stripeBuf [16]uint32
-	stripes := cs.sys.Table.StripesOf(writeOrecs, stripeBuf[:0])
+	stripes := ti.view.StripesOf(writeOrecs, stripeBuf[:0])
 	checks := 0
 	for _, s := range stripes {
-		sh := &cs.origShards[s].origShard
+		sh := &ti.origShards[s].origShard
 		sh.mu.Lock()
 		for i := 0; i < len(sh.waiters); {
 			ow := sh.waiters[i]
@@ -438,24 +563,33 @@ func removeOrigAt(ws []*origWaiter, i int) []*origWaiter {
 	return ws[:len(ws)-1]
 }
 
-// origWithdraw removes an entry from every registry shard it was inserted
-// on, first racing any concurrent waker for the entry's single wakeup. If
-// the entry wins, no signal is in flight and the withdrawal is silent; if
-// a waker won, its token may already be buffered — or may still be sitting
-// in the waker's batch — so the best-effort drain here is backstopped by
-// the drain at the start of the next sleep cycle.
+// origWithdraw removes an entry from every registry shard covering its
+// read set under the current tier, first racing any concurrent waker for
+// the entry's single wakeup (the claim also stops a concurrent migration
+// from carrying the entry to a newer tier). If the entry wins, no signal
+// is in flight and the withdrawal is silent; if a waker won, its token
+// may already be buffered — or may still be sitting in the waker's batch
+// — so the best-effort drain here is backstopped by the drain at the
+// start of the next sleep cycle.
 func (cs *CondSync) origWithdraw(ow *origWaiter) {
 	claimed := !ow.woken.CompareAndSwap(false, true)
-	for _, s := range ow.stripes {
-		sh := &cs.origShards[s].origShard
-		sh.mu.Lock()
-		for i, x := range sh.waiters {
-			if x == ow {
-				sh.waiters = removeOrigAt(sh.waiters, i)
-				break
+	for {
+		ti := cs.tier.Load()
+		ss := ti.view.StripesOf(ow.slots, nil)
+		if !ti.lockOrigShards(ss) {
+			continue
+		}
+		for _, s := range ss {
+			sh := &ti.origShards[s].origShard
+			for i, x := range sh.waiters {
+				if x == ow {
+					sh.waiters = removeOrigAt(sh.waiters, i)
+					break
+				}
 			}
 		}
-		sh.mu.Unlock()
+		ti.unlockOrigShards(ss)
+		break
 	}
 	if claimed {
 		ow.thr.Sem.TryDrain()
@@ -657,42 +791,48 @@ func (s origSignal) Handle(tx *tm.Tx) tm.Outcome {
 	tx.Thr.Sem.TryDrain()
 
 	// Atomically with validation, add the calling transaction to the
-	// waiting list (Algorithm 1, Retry lines 3–8), one registry shard at
-	// a time: each stripe's orecs are validated and the entry inserted
-	// under that shard's lock, which is exactly the lock a committing
-	// writer to those orecs must take before scanning — so per stripe,
-	// either the insertion precedes the writer's scan (the scan finds the
-	// entry and wakes it) or the writer's version bump precedes the
-	// validation (which then fails and restarts). The driver has already
-	// undone writes and released locks "as if the transaction never ran",
-	// so a valid read is one whose orec is unlocked at a version no newer
-	// than the transaction's start.
-	ow := &origWaiter{thr: tx.Thr, orecs: s.orecs}
-	valid := tbl.GroupByStripe(s.slots, func(stripe uint32, group []uint32) bool {
-		sh := &cs.origShards[stripe].origShard
-		sh.mu.Lock()
-		for _, idx := range group {
+	// waiting list (Algorithm 1, Retry lines 3–8): every registry shard
+	// covering the read set is locked at once, the orecs are validated,
+	// and the entry inserted under those locks — each of which is exactly
+	// a lock some committing writer to those orecs must take before
+	// scanning. So per stripe, either the insertion precedes the writer's
+	// scan (the scan finds the entry and wakes it) or the writer's
+	// version bump precedes the validation (which then fails and
+	// restarts); and because the locks are held together, a stripe resize
+	// can never observe a half-inserted entry — the migration takes every
+	// shard lock of the generation before carrying entries over. The
+	// driver has already undone writes and released locks "as if the
+	// transaction never ran", so a valid read is one whose orec is
+	// unlocked at a version no newer than the transaction's start.
+	ow := &origWaiter{thr: tx.Thr, orecs: s.orecs, slots: s.slots}
+	for {
+		ti := cs.tier.Load()
+		ss := ti.view.StripesOf(s.slots, nil)
+		if !ti.lockOrigShards(ss) {
+			continue
+		}
+		valid := true
+		for _, idx := range s.slots {
 			w := tbl.Get(idx)
 			if locktable.Locked(w) || locktable.Version(w) > s.start {
 				// A concurrent modification means re-execution may
 				// already be profitable; restart instead of risking a
 				// missed wakeup.
-				sh.mu.Unlock()
-				return false
+				valid = false
+				break
 			}
 		}
-		sh.waiters = append(sh.waiters, ow)
-		ow.stripes = append(ow.stripes, stripe)
-		sh.mu.Unlock()
-		return true
-	})
-	if !valid {
-		// Withdraw from the shards already inserted on. A writer may have
-		// claimed the entry through one of them in the meantime; the
-		// withdrawal arbitrates through the woken CAS and drains any
-		// already-delivered signal.
-		cs.origWithdraw(ow)
-		return tm.OutcomeRetryNow
+		if valid {
+			for _, st := range ss {
+				sh := &ti.origShards[st].origShard
+				sh.waiters = append(sh.waiters, ow)
+			}
+		}
+		ti.unlockOrigShards(ss)
+		if !valid {
+			return tm.OutcomeRetryNow
+		}
+		break
 	}
 
 	tx.Thr.Sem.Wait()

@@ -1,0 +1,207 @@
+package core_test
+
+// Tests for waiter migration across online stripe resizes: a sleeping
+// waiter — including one whose waitset spans several stripes, and a
+// Retry-Orig registry entry — must survive any sequence of geometry
+// swaps and still be woken exactly by an overlapping commit: no lost
+// wakeups (the migration carried it to the right shards of the new
+// geometry) and no spurious ones (a resize alone wakes nobody). Run
+// under -race in CI: the migration's lock-everything protocol against
+// concurrent insert/remove/scan traffic is exactly what the race
+// detector should vet.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tmsync/internal/core"
+	"tmsync/internal/tm"
+)
+
+// resizeCycle drives the registries through growth, a collapse to the
+// one-stripe global table, and partial regrowth, ending on a geometry
+// different from both the start and the extremes.
+func resizeCycle(cs *core.CondSync) {
+	for _, n := range []int{1, 4, 64, 16} {
+		cs.Resize(n)
+	}
+}
+
+// TestWaitersSurviveResizeExactWake parks one multi-stripe waiter per
+// address pair on disjoint stripes, swaps the stripe geometry several
+// times while they sleep, and then commits one overlapping write: exactly
+// the overlapping waiter must wake, the others must keep sleeping, and a
+// later write to each remaining pair must wake each exactly once.
+func TestWaitersSurviveResizeExactWake(t *testing.T) {
+	forEach(t, allEngines, func(t *testing.T, sys *tm.System, cs *core.CondSync) {
+		const waiters = 3
+		addrs := disjointStripeAddrs(t, sys, 2*waiters)
+		var woken [waiters]atomic.Bool
+		var wg sync.WaitGroup
+		for i := 0; i < waiters; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				a, b := addrs[2*i], addrs[2*i+1]
+				thr := sys.NewThread()
+				thr.Atomic(func(tx *tm.Tx) {
+					if tx.Read(a) == 0 && tx.Read(b) == 0 {
+						core.Await(tx, a, b)
+					}
+					woken[i].Store(true)
+				})
+			}(i)
+		}
+		waitCond(t, "all waiters asleep", func() bool { return cs.WaitingLen() == waiters })
+
+		gen := sys.Table.Gen()
+		resizeCycle(cs)
+		if sys.Table.Gen() == gen {
+			t.Fatal("resize cycle did not change the table generation")
+		}
+		if n := sys.Stats.MigratedWaiters.Load(); n == 0 {
+			t.Fatal("no waiters were migrated across the resizes")
+		}
+		// A resize alone must wake nobody.
+		if cs.WaitingLen() != waiters {
+			t.Fatalf("resize disturbed the waiter index: %d waiting, want %d", cs.WaitingLen(), waiters)
+		}
+		for i := range woken {
+			if woken[i].Load() {
+				t.Fatalf("waiter %d woke from a resize with no overlapping write", i)
+			}
+		}
+
+		// One overlapping write (second address of pair 0, so the
+		// migrated multi-stripe registration is what catches it).
+		writer := sys.NewThread()
+		writer.Atomic(func(tx *tm.Tx) { tx.Write(addrs[1], 1) })
+		waitCond(t, "overlapping waiter woken", func() bool { return woken[0].Load() })
+		waitCond(t, "others still parked", func() bool { return cs.WaitingLen() == waiters-1 })
+		for i := 1; i < waiters; i++ {
+			if woken[i].Load() {
+				t.Errorf("waiter %d woke without any write to its stripes", i)
+			}
+		}
+
+		// Release the rest across one more geometry change: no lost
+		// wakeups through the migrated index.
+		cs.Resize(64)
+		for i := 1; i < waiters; i++ {
+			writer.Atomic(func(tx *tm.Tx) { tx.Write(addrs[2*i], 1) })
+		}
+		wg.Wait()
+		if n := cs.WaitingLen(); n != 0 {
+			t.Fatalf("waiter index not drained: %d", n)
+		}
+	})
+}
+
+// TestOrigWaiterSurvivesResize registers a Retry-Orig entry, swaps the
+// geometry while it sleeps, and checks that an overlapping commit still
+// finds it through the migrated registry shards.
+func TestOrigWaiterSurvivesResize(t *testing.T) {
+	forEach(t, stmEngines, func(t *testing.T, sys *tm.System, cs *core.CondSync) {
+		addrs := disjointStripeAddrs(t, sys, 2)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			thr := sys.NewThread()
+			thr.Atomic(func(tx *tm.Tx) {
+				if tx.Read(addrs[0]) == 0 && tx.Read(addrs[1]) == 0 {
+					core.RetryOrig(tx)
+				}
+			})
+		}()
+		waitCond(t, "orig waiter registered", func() bool { return cs.OrigWaitingLen() == 1 })
+
+		resizeCycle(cs)
+		if cs.OrigWaitingLen() != 1 {
+			t.Fatalf("resize disturbed the Retry-Orig registry: %d entries, want 1", cs.OrigWaitingLen())
+		}
+		select {
+		case <-done:
+			t.Fatal("orig waiter woke from a resize with no overlapping write")
+		default:
+		}
+
+		writer := sys.NewThread()
+		writer.Atomic(func(tx *tm.Tx) { tx.Write(addrs[1], 1) })
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("orig waiter wedged: migration lost the registry entry")
+		}
+		waitCond(t, "registry drained", func() bool { return cs.OrigWaitingLen() == 0 })
+	})
+}
+
+// TestResizeStressNoLostWakeups hammers the migration protocol: producer
+// and consumer goroutines hand tokens through Await-guarded cells while
+// another goroutine swaps the stripe geometry continuously. Every
+// hand-off must complete (no lost wakeup wedges the ring) and the token
+// count must be conserved.
+func TestResizeStressNoLostWakeups(t *testing.T) {
+	rounds := 400
+	if testing.Short() {
+		rounds = 80
+	}
+	forEach(t, allEngines, func(t *testing.T, sys *tm.System, cs *core.CondSync) {
+		addrs := disjointStripeAddrs(t, sys, 2)
+		slotA, slotB := addrs[0], addrs[1]
+		*slotA = 1 // one token circulating A -> B -> A
+
+		stop := make(chan struct{})
+		var resizes sync.WaitGroup
+		resizes.Add(1)
+		go func() {
+			defer resizes.Done()
+			counts := []int{1, 16, 4, 64, 2, 32}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cs.Resize(counts[i%len(counts)])
+			}
+		}()
+
+		var wg sync.WaitGroup
+		move := func(from, to *uint64) {
+			defer wg.Done()
+			thr := sys.NewThread()
+			for i := 0; i < rounds; i++ {
+				thr.Atomic(func(tx *tm.Tx) {
+					if tx.Read(from) == 0 {
+						core.Await(tx, from)
+					}
+					tx.Write(from, tx.Read(from)-1)
+					tx.Write(to, tx.Read(to)+1)
+				})
+			}
+		}
+		wg.Add(2)
+		go move(slotA, slotB)
+		go move(slotB, slotA)
+
+		doneCh := make(chan struct{})
+		go func() { wg.Wait(); close(doneCh) }()
+		select {
+		case <-doneCh:
+		case <-time.After(60 * time.Second):
+			close(stop)
+			t.Fatal("ring wedged: a wakeup was lost across a resize")
+		}
+		close(stop)
+		resizes.Wait()
+		if got := *slotA + *slotB; got != 1 {
+			t.Fatalf("token conservation broken: %d tokens, want 1", got)
+		}
+		if cs.WaitingLen() != 0 {
+			t.Fatalf("waiter index not drained: %d", cs.WaitingLen())
+		}
+	})
+}

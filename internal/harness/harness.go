@@ -44,14 +44,26 @@ var Engines = []string{"eager", "lazy", "htm", "hybrid"}
 // sweeps over performance-only parameters (which must not change any
 // observable outcome) and by the benchmark pipeline.
 type Knobs struct {
-	// Stripes overrides the orec-table stripe count (0 = default). It
-	// also sizes the per-stripe waiter index and the sharded Retry-Orig
+	// Stripes overrides the initial orec-table stripe count (0 = default).
+	// It also sizes the per-stripe waiter index and the sharded Retry-Orig
 	// registry, which have one shard per stripe.
 	Stripes int
 	// Unbatched reverts post-commit wakeups to signal-at-claim delivery
 	// instead of the per-commit signal batch (a measurement baseline;
 	// observably inert).
 	Unbatched bool
+	// MinStripes/MaxStripes enable the adaptive stripe controller when
+	// they differ (0 = pinned at Stripes); the controller resizes the
+	// table online within the bounds. AdaptWindow overrides the
+	// controller's decision window (0 = default).
+	MinStripes, MaxStripes, AdaptWindow int
+	// ResizeEvery/ResizeSchedule force a deterministic online resize
+	// schedule: every ResizeEvery writer commits the stripe count moves
+	// to the next schedule entry, cycling. Online resizing is a pure
+	// performance mechanism, so any schedule must yield identical
+	// observable outcomes — the property tmcheck -adaptive checks.
+	ResizeEvery    int
+	ResizeSchedule []int
 }
 
 // NewSystem builds a TM system for the named engine with condition
@@ -63,7 +75,15 @@ func NewSystem(engine string) (*tm.System, error) {
 
 // NewSystemKnobs is NewSystem with explicit performance knobs.
 func NewSystemKnobs(engine string, k Knobs) (*tm.System, error) {
-	cfg := tm.Config{Stripes: k.Stripes, UnbatchedWakeups: k.Unbatched}
+	cfg := tm.Config{
+		Stripes:          k.Stripes,
+		UnbatchedWakeups: k.Unbatched,
+		MinStripes:       k.MinStripes,
+		MaxStripes:       k.MaxStripes,
+		AdaptWindow:      k.AdaptWindow,
+		ResizeEvery:      k.ResizeEvery,
+		ResizeSchedule:   k.ResizeSchedule,
+	}
 	var sys *tm.System
 	switch engine {
 	case "eager":

@@ -51,6 +51,7 @@ func (e *Engine) Begin(tx *tm.Tx) {
 		// The driver already serialized this attempt (irrevocability);
 		// run it directly in the instrumented software mode.
 		tx.Mode = tm.ModeSerial
+		tx.StampTableView()
 		tx.Start = tx.Thr.PublishStart()
 		return
 	}
@@ -76,6 +77,7 @@ func (e *Engine) Begin(tx *tm.Tx) {
 		t.HWActive.Store(true)
 	}
 	tx.Mode = tm.ModeHW
+	tx.StampTableView()
 	tx.Start = t.PublishStart()
 }
 
@@ -105,6 +107,7 @@ func (e *Engine) beginSerial(tx *tm.Tx) {
 		}
 	}
 	tx.Mode = tm.ModeSerial
+	tx.StampTableView()
 	tx.Start = tx.Thr.PublishStart()
 }
 
@@ -200,6 +203,10 @@ func (e *Engine) Write(tx *tm.Tx, addr *uint64, val uint64) {
 func (e *Engine) Commit(tx *tm.Tx) {
 	if tx.Mode == tm.ModeSerial {
 		if len(tx.Undo) > 0 {
+			// Even the serial fallback names write stripes for the
+			// post-commit wakeup, so a resize since Begin aborts it too
+			// (Rollback undoes the in-place writes and releases the lock).
+			tx.RevalidateTableGen()
 			e.sys.Clock.Inc()
 			tx.Undo = tx.Undo[:0]
 		}
@@ -230,6 +237,10 @@ func (e *Engine) Commit(tx *tm.Tx) {
 		t.HWActive.Store(false)
 		tx.Abort(tm.AbortConflict)
 	}
+	// An online stripe resize since Begin invalidates the attempt's
+	// write-stripe set; abort (Rollback clears HWActive) and re-execute
+	// against the new geometry.
+	tx.RevalidateTableGen()
 	// WriteOrecs stays empty: it feeds only Retry-Orig, which this engine
 	// rejects, and an empty lock-set snapshot lets origWake return without
 	// touching its global lock. Wakeups ride on WriteStripes instead.

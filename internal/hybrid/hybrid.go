@@ -41,6 +41,7 @@ func (e *Engine) Begin(tx *tm.Tx) {
 	if tx.WantSoftware || tx.IsRetry || tx.Attempts > e.sys.Cfg.HTMMaxRetries || tx.SerialHeld {
 		tx.WantSoftware = false
 		tx.Mode = tm.ModeSTM
+		tx.StampTableView()
 		tx.Start = tx.Thr.PublishStartSerialAware(tx)
 		return
 	}
@@ -62,6 +63,7 @@ func (e *Engine) Begin(tx *tm.Tx) {
 		break
 	}
 	tx.Mode = tm.ModeHW
+	tx.StampTableView()
 	tx.Start = t.PublishStart()
 }
 
@@ -183,6 +185,10 @@ func (e *Engine) Commit(tx *tm.Tx) {
 		}
 		tx.Abort(tm.AbortConflict)
 	}
+	// An online stripe resize since Begin invalidates the attempt's
+	// write-stripe set; abort (Rollback clears HWActive) and re-execute
+	// against the new geometry — the same rule in both modes.
+	tx.RevalidateTableGen()
 	// Doom concurrent hardware transactions whose signatures overlap the
 	// write set — software committers must do this too, or hardware
 	// readers would miss eager invalidation from the software path.

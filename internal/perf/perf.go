@@ -76,6 +76,22 @@ type Options struct {
 	// sweep is meant to stress.
 	OrigWindow int
 
+	// AdaptiveThreads is the goroutine ladder of the adaptive-vs-static
+	// sweep; empty skips it (cmd/tmbench passes 8 by default). Each rung
+	// reruns the stripe sweep's wakeup-bound cells (buffer under Retry
+	// and Await, the Retry-Orig token ring) with the adaptive controller
+	// enabled and a deliberately wrong starting count of one stripe,
+	// bounded by [1, max(SweepStripes)] — the static cells of the stripe
+	// and Retry-Orig sweeps are the baselines the verdict compares
+	// against.
+	AdaptiveThreads []int
+	// AdaptiveOrigPasses is the token hand-offs per ring worker in the
+	// adaptive Retry-Orig cells. Defaults to OrigPasses: the ring's
+	// scan-cost rate drifts with run length on a loaded machine, so the
+	// adaptive cells must run exactly as long as the static baseline
+	// they are judged against.
+	AdaptiveOrigPasses int
+
 	// Progress, when set, receives one call per completed point.
 	Progress func(done, total int, p Point)
 }
@@ -112,10 +128,16 @@ func (o Options) withDefaults() Options {
 		o.SweepStripes = []int{1, 64}
 	}
 	if o.OrigPasses == 0 {
-		o.OrigPasses = 400
+		// 1200 passes x 8 workers ≈ 10k commits per cell: the ring's
+		// scan-cost rates carry ±20% run noise at a few thousand commits,
+		// which the adaptive-vs-static 10% comparison cannot tolerate.
+		o.OrigPasses = 1200
 	}
 	if o.OrigWindow == 0 {
 		o.OrigWindow = 4
+	}
+	if o.AdaptiveOrigPasses == 0 {
+		o.AdaptiveOrigPasses = o.OrigPasses
 	}
 	return o
 }
@@ -143,7 +165,19 @@ type Point struct {
 	// delivery instead of the per-commit signal batch (the A/B baseline
 	// of the Retry-Orig contention sweep).
 	Unbatched bool `json:"unbatched,omitempty"`
-	Trial     int  `json:"trial"`
+	// Adaptive marks a point measured with the online stripe controller
+	// enabled; Stripes is then the (deliberately wrong) starting count.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// FinalStripes is the stripe count the table ended the run at (only
+	// interesting for adaptive points; the controller should have
+	// converged away from the starting count).
+	FinalStripes int `json:"final_stripes,omitempty"`
+	// Resizes counts online stripe-geometry swaps during the run.
+	Resizes uint64 `json:"resizes,omitempty"`
+	// GenAborts counts commit-time aborts caused by a resize landing
+	// mid-transaction — the per-transaction cost of the epoch swap.
+	GenAborts uint64 `json:"gen_aborts,omitempty"`
+	Trial     int    `json:"trial"`
 
 	Seconds float64 `json:"seconds"`
 	// Ops counts application-level operations where the workload defines
@@ -223,26 +257,55 @@ type OrigVerdict struct {
 	Improved        bool `json:"improved"`
 }
 
+// AdaptiveVerdict summarizes the adaptive-vs-static sweep at 8 goroutines
+// (the acceptance point): starting from a deliberately wrong stripe count
+// of 1, the online controller must converge and land the full-run
+// wakeup-scan cost — convergence transient included — within 10% of the
+// best static configuration, on both the wakeup-bound buffer cells
+// (wake-checks per commit, Retry and Await across all engines) and the
+// Retry-Orig token ring (registry checks per commit).
+type AdaptiveVerdict struct {
+	Threads      int `json:"threads"`
+	StartStripes int `json:"start_stripes"`
+	MaxStripes   int `json:"max_stripes"`
+
+	BufferBestStaticStripes   int     `json:"buffer_best_static_stripes"`
+	BufferChecksPerCommitBest float64 `json:"buffer_wake_checks_per_commit_best_static"`
+	BufferChecksPerCommitAdap float64 `json:"buffer_wake_checks_per_commit_adaptive"`
+	BufferWithin10Pct         bool    `json:"buffer_within_10pct"`
+
+	OrigBestStaticStripes   int     `json:"origring_best_static_stripes"`
+	OrigChecksPerCommitBest float64 `json:"origring_checks_per_commit_best_static"`
+	OrigChecksPerCommitAdap float64 `json:"origring_checks_per_commit_adaptive"`
+	OrigWithin10Pct         bool    `json:"origring_within_10pct"`
+
+	// Converged is the headline claim: both workloads landed within 10%.
+	Converged bool `json:"converged"`
+}
+
 // Report is the machine-readable result of one sweep (BENCH_PR<N>.json).
 type Report struct {
-	Schema        string         `json:"schema"`
-	Generated     string         `json:"generated"`
-	Seed          uint64         `json:"seed"`
-	Threads       []int          `json:"threads"`
-	Engines       []string       `json:"engines"`
-	Mechs         []string       `json:"mechs"`
-	Workloads     []string       `json:"workloads"`
-	BufferOps     int            `json:"buffer_ops"`
-	BufferCap     int            `json:"buffer_cap"`
-	Scale         int            `json:"scale"`
-	SweepStripes  []int          `json:"sweep_stripes"`
-	OrigThreads   []int          `json:"orig_threads,omitempty"`
-	OrigPasses    int            `json:"orig_passes,omitempty"`
-	Points        []Point        `json:"points"`
-	StripeSweep   []Point        `json:"stripe_sweep"`
-	StripeVerdict *StripeVerdict `json:"stripe_verdict,omitempty"`
-	OrigSweep     []Point        `json:"orig_sweep,omitempty"`
-	OrigVerdict   *OrigVerdict   `json:"orig_verdict,omitempty"`
+	Schema          string           `json:"schema"`
+	Generated       string           `json:"generated"`
+	Seed            uint64           `json:"seed"`
+	Threads         []int            `json:"threads"`
+	Engines         []string         `json:"engines"`
+	Mechs           []string         `json:"mechs"`
+	Workloads       []string         `json:"workloads"`
+	BufferOps       int              `json:"buffer_ops"`
+	BufferCap       int              `json:"buffer_cap"`
+	Scale           int              `json:"scale"`
+	SweepStripes    []int            `json:"sweep_stripes"`
+	OrigThreads     []int            `json:"orig_threads,omitempty"`
+	OrigPasses      int              `json:"orig_passes,omitempty"`
+	AdaptiveThreads []int            `json:"adaptive_threads,omitempty"`
+	Points          []Point          `json:"points"`
+	StripeSweep     []Point          `json:"stripe_sweep"`
+	StripeVerdict   *StripeVerdict   `json:"stripe_verdict,omitempty"`
+	OrigSweep       []Point          `json:"orig_sweep,omitempty"`
+	OrigVerdict     *OrigVerdict     `json:"orig_verdict,omitempty"`
+	AdaptiveSweep   []Point          `json:"adaptive_sweep,omitempty"`
+	AdaptiveVerdict *AdaptiveVerdict `json:"adaptive_verdict,omitempty"`
 }
 
 // mechRuns reports whether mechanism m runs on engine e.
@@ -300,6 +363,11 @@ func Run(o Options) (*Report, error) {
 		sweep     bool
 		orig      bool
 		unbatched bool
+		adaptive  bool
+		// reps repeats the cell (multiplied by Trials): the Retry-Orig
+		// ring's scan rate carries heavy scheduling noise per run, and
+		// pooled repetitions are what make a 10% comparison meaningful.
+		reps int
 	}
 	var cells []cell
 	for _, w := range o.Workloads {
@@ -335,7 +403,11 @@ func Run(o Options) (*Report, error) {
 		for _, stripes := range o.SweepStripes {
 			for _, e := range o.Engines {
 				for _, m := range []mech.Mechanism{mech.Retry, mech.Await} {
-					cells = append(cells, cell{workload: sweepWorkload, engine: e, m: m, threads: maxThreads, stripes: stripes, sweep: true})
+					// reps pools allocation luck: whether two lanes'
+					// words share a stripe is decided by the heap layout
+					// each run draws, and the adaptive verdict's 10%
+					// comparison needs that averaged on both sides.
+					cells = append(cells, cell{workload: sweepWorkload, engine: e, m: m, threads: maxThreads, stripes: stripes, sweep: true, reps: 4})
 				}
 			}
 		}
@@ -356,28 +428,90 @@ func Run(o Options) (*Report, error) {
 				}
 				for _, stripes := range o.SweepStripes {
 					for _, unbatched := range []bool{true, false} {
-						cells = append(cells, cell{workload: "origring", engine: e, m: mech.RetryOrig, threads: threads, stripes: stripes, orig: true, unbatched: unbatched})
+						// The ring cells are cheap (tens of ms) and their
+						// scan rate has metastable scheduling regimes;
+						// heavy pooling is what makes the verdicts stable.
+						cells = append(cells, cell{workload: "origring", engine: e, m: mech.RetryOrig, threads: threads, stripes: stripes, orig: true, unbatched: unbatched, reps: 10})
 					}
 				}
 			}
 		}
 	}
+	// Adaptive-vs-static sweep: the stripe sweep's wakeup-bound buffer
+	// cells and the Retry-Orig ring, re-run with the online controller
+	// enabled and a deliberately wrong one-stripe start. The static cells
+	// above are the baselines, so only the adaptive runs are added here.
+	if len(o.AdaptiveThreads) > 0 {
+		rep.AdaptiveThreads = o.AdaptiveThreads
+		for _, threads := range o.AdaptiveThreads {
+			if hasWorkload(o.Workloads, sweepWorkload) && threads >= 2 {
+				for _, e := range o.Engines {
+					for _, m := range []mech.Mechanism{mech.Retry, mech.Await} {
+						cells = append(cells, cell{workload: sweepWorkload, engine: e, m: m, threads: threads, stripes: 1, adaptive: true, reps: 6})
+					}
+				}
+			}
+			for _, e := range o.Engines {
+				if e != "eager" && e != "lazy" {
+					continue
+				}
+				cells = append(cells, cell{workload: "origring", engine: e, m: mech.RetryOrig, threads: threads, stripes: 1, orig: true, adaptive: true, reps: 10})
+			}
+		}
+	}
 
-	total := len(cells) * o.Trials
+	highStripes := 0
+	for _, s := range o.SweepStripes {
+		if s > highStripes {
+			highStripes = s
+		}
+	}
+
+	total := 0
+	for _, c := range cells {
+		reps := c.reps
+		if reps == 0 {
+			reps = 1
+		}
+		total += reps * o.Trials
+	}
 	done := 0
 	for _, c := range cells {
-		for trial := 0; trial < o.Trials; trial++ {
+		reps := c.reps
+		if reps == 0 {
+			reps = 1
+		}
+		for trial := 0; trial < reps*o.Trials; trial++ {
+			k := harness.Knobs{Stripes: c.stripes, Unbatched: c.unbatched}
+			if c.adaptive {
+				// Start deliberately wrong (one stripe, the old global
+				// table) and let the controller roam up to the sweep's
+				// best static count.
+				k.MinStripes, k.MaxStripes = 1, highStripes
+				// The adaptive cells run exactly as long as their static
+				// baselines, so the convergence transient must be short:
+				// a 16-commit window converges 1 -> 64 within ~100 of
+				// the ~10k commits each cell measures.
+				k.AdaptWindow = 16
+			}
 			var p Point
 			var err error
 			if c.orig {
-				p, err = runOrigRing(c.engine, c.threads, c.stripes, c.unbatched, trial, o)
+				passes := o.OrigPasses
+				if c.adaptive {
+					passes = o.AdaptiveOrigPasses
+				}
+				p, err = runOrigRing(c.engine, c.threads, k, passes, trial, o)
 			} else {
-				p, err = runCell(c.workload, c.engine, c.m, c.threads, c.stripes, trial, o)
+				p, err = runCell(c.workload, c.engine, c.m, c.threads, k, trial, o)
 			}
 			if err != nil {
 				return nil, fmt.Errorf("perf: %s %s/%s t=%d: %w", c.workload, c.engine, c.m, c.threads, err)
 			}
+			p.Adaptive = c.adaptive
 			switch {
+			case c.adaptive:
+				rep.AdaptiveSweep = append(rep.AdaptiveSweep, p)
 			case c.orig:
 				rep.OrigSweep = append(rep.OrigSweep, p)
 			case c.sweep:
@@ -393,6 +527,7 @@ func Run(o Options) (*Report, error) {
 	}
 	rep.StripeVerdict = verdict(rep.StripeSweep, sweepWorkload, maxThreads, o.SweepStripes)
 	rep.OrigVerdict = origVerdict(rep.OrigSweep, o.SweepStripes)
+	rep.AdaptiveVerdict = adaptiveVerdict(rep, o, sweepWorkload, maxThreads, highStripes)
 	return rep, nil
 }
 
@@ -405,9 +540,9 @@ func Run(o Options) (*Report, error) {
 // sleeper's orec set over several registry shards and making unrelated
 // hand-offs wake it futilely — the storm the sharded registry localizes.
 // Token conservation is the workload's self-check.
-func runOrigRing(engine string, threads, stripes int, unbatched bool, trial int, o Options) (Point, error) {
-	p := Point{Workload: "origring", Engine: engine, Mech: string(mech.RetryOrig), Threads: threads, Stripes: stripes, Unbatched: unbatched, Trial: trial}
-	sys, err := harness.NewSystemKnobs(engine, harness.Knobs{Stripes: stripes, Unbatched: unbatched})
+func runOrigRing(engine string, threads int, k harness.Knobs, passes, trial int, o Options) (Point, error) {
+	p := Point{Workload: "origring", Engine: engine, Mech: string(mech.RetryOrig), Threads: threads, Stripes: k.Stripes, Unbatched: k.Unbatched, Trial: trial}
+	sys, err := harness.NewSystemKnobs(engine, k)
 	if err != nil {
 		return Point{}, err
 	}
@@ -422,10 +557,17 @@ func runOrigRing(engine string, threads, stripes int, unbatched bool, trial int,
 	// normalization the measured scan cost would be hostage to allocator
 	// luck (two slots hashing into one stripe makes every hand-off commit
 	// scan both neighbourhoods); with it, the cell measures the structure
-	// the sweep is about.
+	// the sweep is about. Adaptive cells normalize against the geometry
+	// the controller is expected to converge to (the upper bound), so
+	// their converged layout matches the best static cell's.
+	geomStripes := sys.Table.NumStripes()
+	if k.MaxStripes > geomStripes {
+		geomStripes = k.MaxStripes
+	}
+	nv := sys.Table.ViewAt(geomStripes)
 	backing := make([]uint64, 4096)
 	slots := make([]*uint64, 0, n)
-	distinctStripes := sys.Table.NumStripes() >= n
+	distinctStripes := nv.NumStripes() >= n
 	usedOrec := make(map[uint32]bool)
 	usedStripe := make(map[uint32]bool)
 	for i := range backing {
@@ -433,11 +575,11 @@ func runOrigRing(engine string, threads, stripes int, unbatched bool, trial int,
 		if usedOrec[idx] {
 			continue
 		}
-		if distinctStripes && usedStripe[sys.Table.StripeOf(idx)] {
+		if distinctStripes && usedStripe[nv.StripeOf(idx)] {
 			continue
 		}
 		usedOrec[idx] = true
-		usedStripe[sys.Table.StripeOf(idx)] = true
+		usedStripe[nv.StripeOf(idx)] = true
 		slots = append(slots, &backing[i])
 		if len(slots) == n {
 			break
@@ -459,7 +601,7 @@ func runOrigRing(engine string, threads, stripes int, unbatched bool, trial int,
 			defer wg.Done()
 			thr := sys.NewThread()
 			next := (i + 1) % n
-			for pass := 0; pass < o.OrigPasses; pass++ {
+			for pass := 0; pass < passes; pass++ {
 				thr.Atomic(func(tx *tm.Tx) {
 					v := tx.Read(slots[i])
 					for j := 1; j < window; j++ {
@@ -483,7 +625,7 @@ func runOrigRing(engine string, threads, stripes int, unbatched bool, trial int,
 	if left != tokens {
 		return Point{}, fmt.Errorf("origring: %d tokens left in the ring, want %d (lost or duplicated wakeup)", left, tokens)
 	}
-	p.Ops = uint64(n) * uint64(o.OrigPasses)
+	p.Ops = uint64(n) * uint64(passes)
 	fill(&p, sys, secs)
 	return p, nil
 }
@@ -547,6 +689,101 @@ func origVerdict(sweep []Point, stripes []int) *OrigVerdict {
 	return v
 }
 
+// adaptiveVerdict compares the adaptive sweep against the best static
+// configuration measured by the stripe and Retry-Orig sweeps, at the
+// acceptance rung (8 goroutines when measured, else the sweep's rung).
+// The adaptive numbers are full-run averages, convergence transient
+// included — the controller must not merely reach the right count, it
+// must reach it fast enough that the detour stays within 10%.
+func adaptiveVerdict(rep *Report, o Options, workload string, staticThreads, highStripes int) *AdaptiveVerdict {
+	if len(rep.AdaptiveSweep) == 0 {
+		return nil
+	}
+	threads := rep.AdaptiveSweep[0].Threads
+	for _, p := range rep.AdaptiveSweep {
+		if p.Threads == 8 {
+			threads = 8
+		}
+	}
+	if threads != staticThreads {
+		// No comparable static baseline was measured at this rung.
+		return nil
+	}
+	v := &AdaptiveVerdict{Threads: threads, StartStripes: 1, MaxStripes: highStripes}
+
+	// Buffer: wake checks per commit over the wakeup-bound cells (Retry
+	// and Await, all engines), static per stripe count vs adaptive.
+	bufStatic := func(stripes int) (float64, bool) {
+		var checks, commits uint64
+		for _, p := range rep.StripeSweep {
+			if p.Workload == workload && p.Threads == threads && p.Stripes == stripes {
+				checks += p.WakeChecks
+				commits += p.Commits
+			}
+		}
+		if commits == 0 {
+			return 0, false
+		}
+		return float64(checks) / float64(commits), true
+	}
+	bestBuf, haveBuf := 0.0, false
+	for _, s := range o.SweepStripes {
+		if r, ok := bufStatic(s); ok && (!haveBuf || r < bestBuf) {
+			bestBuf, v.BufferBestStaticStripes, haveBuf = r, s, true
+		}
+	}
+	var bufChecks, bufCommits uint64
+	for _, p := range rep.AdaptiveSweep {
+		if p.Workload == workload && p.Threads == threads {
+			bufChecks += p.WakeChecks
+			bufCommits += p.Commits
+		}
+	}
+	if haveBuf && bufCommits > 0 {
+		v.BufferChecksPerCommitBest = bestBuf
+		v.BufferChecksPerCommitAdap = float64(bufChecks) / float64(bufCommits)
+		v.BufferWithin10Pct = v.BufferChecksPerCommitAdap <= 1.10*bestBuf
+	}
+
+	// Retry-Orig ring: registry checks per commit, static batched cells
+	// per stripe count vs adaptive.
+	origStatic := func(stripes int) (float64, bool) {
+		var checks, commits uint64
+		for _, p := range rep.OrigSweep {
+			if p.Threads == threads && p.Stripes == stripes && !p.Unbatched {
+				checks += p.OrigShardChecks
+				commits += p.Commits
+			}
+		}
+		if commits == 0 {
+			return 0, false
+		}
+		return float64(checks) / float64(commits), true
+	}
+	bestOrig, haveOrig := 0.0, false
+	for _, s := range o.SweepStripes {
+		if r, ok := origStatic(s); ok && (!haveOrig || r < bestOrig) {
+			bestOrig, v.OrigBestStaticStripes, haveOrig = r, s, true
+		}
+	}
+	var origChecks, origCommits uint64
+	for _, p := range rep.AdaptiveSweep {
+		if p.Workload == "origring" && p.Threads == threads {
+			origChecks += p.OrigShardChecks
+			origCommits += p.Commits
+		}
+	}
+	if haveOrig && origCommits > 0 {
+		v.OrigChecksPerCommitBest = bestOrig
+		v.OrigChecksPerCommitAdap = float64(origChecks) / float64(origCommits)
+		v.OrigWithin10Pct = v.OrigChecksPerCommitAdap <= 1.10*bestOrig
+	}
+
+	v.Converged = (haveBuf && bufCommits > 0 && v.BufferWithin10Pct) &&
+		(haveOrig && origCommits > 0 && v.OrigWithin10Pct)
+	return v
+}
+
 // verdict aggregates the sweep's wakeup-scan work per commit at the low
 // and high stripe counts.
 func verdict(sweep []Point, workload string, threads int, stripes []int) *StripeVerdict {
@@ -607,12 +844,12 @@ func validThreads(workload string, threads int) bool {
 	return b.ValidThreads(threads)
 }
 
-func runCell(workload, engine string, m mech.Mechanism, threads, stripes, trial int, o Options) (Point, error) {
+func runCell(workload, engine string, m mech.Mechanism, threads int, k harness.Knobs, trial int, o Options) (Point, error) {
 	if workload == "buffer" {
-		return runBuffer(engine, m, threads, stripes, trial, o)
+		return runBuffer(engine, m, threads, k, trial, o)
 	}
 	if strings.HasPrefix(workload, "parsec/") {
-		return runParsec(strings.TrimPrefix(workload, "parsec/"), engine, m, threads, stripes, trial, o)
+		return runParsec(strings.TrimPrefix(workload, "parsec/"), engine, m, threads, k, trial, o)
 	}
 	return Point{}, fmt.Errorf("unknown workload %q", workload)
 }
@@ -644,6 +881,10 @@ func fill(p *Point, sys *tm.System, secs float64) {
 	p.WakeChecks = s.WakeChecks.Load()
 	p.BatchedSignals = s.BatchedSignals.Load()
 	p.OrigShardChecks = s.OrigShardChecks.Load()
+	p.GenAborts = s.GenAborts.Load()
+	if p.Resizes = s.StripeResizes.Load(); p.Resizes > 0 {
+		p.FinalStripes = sys.Table.NumStripes()
+	}
 	if p.Commits > 0 {
 		p.WakeupsPerCommit = float64(p.WakeChecks) / float64(p.Commits)
 		p.SignalsPerCommit = float64(p.Wakeups) / float64(p.Commits)
@@ -657,8 +898,8 @@ func fill(p *Point, sys *tm.System, secs float64) {
 // producer/consumer systems — the structure whose post-commit wakeups the
 // stripe index localizes. A lone goroutine alternates put/get and never
 // blocks; an odd straggler alternates on lane 0.
-func runBuffer(engine string, m mech.Mechanism, threads, stripes, trial int, o Options) (Point, error) {
-	p := Point{Workload: "buffer", Engine: engine, Mech: string(m), Threads: threads, Stripes: stripes, Trial: trial}
+func runBuffer(engine string, m mech.Mechanism, threads int, k harness.Knobs, trial int, o Options) (Point, error) {
+	p := Point{Workload: "buffer", Engine: engine, Mech: string(m), Threads: threads, Stripes: k.Stripes, Trial: trial}
 	ops := o.BufferOps
 	lanes := threads / 2
 	if lanes < 1 {
@@ -689,7 +930,7 @@ func runBuffer(engine string, m mech.Mechanism, threads, stripes, trial int, o O
 		return p, nil
 	}
 
-	sys, err := harness.NewSystemKnobs(engine, harness.Knobs{Stripes: stripes})
+	sys, err := harness.NewSystemKnobs(engine, k)
 	if err != nil {
 		return Point{}, err
 	}
@@ -770,16 +1011,16 @@ func referenceFor(b *parsecsim.Benchmark, scale int) uint64 {
 
 // runParsec measures one PARSEC concurrency skeleton and verifies its
 // checksum against the sequential reference.
-func runParsec(name, engine string, m mech.Mechanism, threads, stripes, trial int, o Options) (Point, error) {
+func runParsec(name, engine string, m mech.Mechanism, threads int, knobs harness.Knobs, trial int, o Options) (Point, error) {
 	b, err := parsecsim.ByName(name)
 	if err != nil {
 		return Point{}, err
 	}
-	p := Point{Workload: "parsec/" + name, Engine: engine, Mech: string(m), Threads: threads, Stripes: stripes, Trial: trial}
+	p := Point{Workload: "parsec/" + name, Engine: engine, Mech: string(m), Threads: threads, Stripes: knobs.Stripes, Trial: trial}
 	k := &parsecsim.Kit{Mech: m}
 	var sys *tm.System
 	if m != mech.Pthreads {
-		sys, err = harness.NewSystemKnobs(engine, harness.Knobs{Stripes: stripes})
+		sys, err = harness.NewSystemKnobs(engine, knobs)
 		if err != nil {
 			return Point{}, err
 		}

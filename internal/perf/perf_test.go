@@ -142,8 +142,8 @@ func TestOrigSweepReducesRegistryScan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.OrigSweep) != 8 { // 2 engines × 2 stripe counts × {batched, unbatched}
-		t.Fatalf("orig sweep has %d points, want 8", len(rep.OrigSweep))
+	if len(rep.OrigSweep) != 80 { // 2 engines × 2 stripe counts × {batched, unbatched} × 10 pooled reps
+		t.Fatalf("orig sweep has %d points, want 80", len(rep.OrigSweep))
 	}
 	for _, p := range rep.OrigSweep {
 		if p.Deschedules == 0 {

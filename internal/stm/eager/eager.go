@@ -28,6 +28,7 @@ func (e *Engine) Name() string { return "eager" }
 // (Algorithm 9, TxBegin), waiting out any irrevocable section.
 func (e *Engine) Begin(tx *tm.Tx) {
 	tx.Mode = tm.ModeSTM
+	tx.StampTableView()
 	tx.Start = tx.Thr.PublishStartSerialAware(tx)
 }
 
@@ -131,6 +132,9 @@ func (e *Engine) Commit(tx *tm.Tx) {
 	if end != tx.Start+1 && !e.validateReads(tx) {
 		tx.Abort(tm.AbortConflict)
 	}
+	// An online stripe resize since Begin invalidates the attempt's
+	// write-stripe set; abort and re-execute against the new geometry.
+	tx.RevalidateTableGen()
 	tx.WriteOrecs = append(tx.WriteOrecs, tx.Locks...)
 	for _, idx := range tx.Locks {
 		e.sys.Table.Set(idx, locktable.UnlockedAt(end))

@@ -27,6 +27,7 @@ func (e *Engine) Name() string { return "lazy" }
 // waiting out any irrevocable section.
 func (e *Engine) Begin(tx *tm.Tx) {
 	tx.Mode = tm.ModeSTM
+	tx.StampTableView()
 	tx.Start = tx.Thr.PublishStartSerialAware(tx)
 }
 
@@ -96,6 +97,9 @@ func (e *Engine) Commit(tx *tm.Tx) {
 	if end != tx.Start+1 && !e.validateReads(tx) {
 		tx.Abort(tm.AbortConflict)
 	}
+	// An online stripe resize since Begin invalidates the attempt's
+	// write-stripe set; abort and re-execute against the new geometry.
+	tx.RevalidateTableGen()
 	for i := range tx.Redo.Entries {
 		atomic.StoreUint64(tx.Redo.Entries[i].Addr, tx.Redo.Entries[i].Val)
 	}

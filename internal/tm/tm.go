@@ -14,6 +14,7 @@
 package tm
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -153,8 +154,16 @@ type Tx struct {
 	// attempt's write set touched, recorded by the engines as write
 	// ownership is established (lock acquisition; serial-mode stores).
 	// The post-commit wakeup visits only these stripes, making Algorithm
-	// 4's wakeWaiters O(write set) instead of O(waiters).
+	// 4's wakeWaiters O(write set) instead of O(waiters). Stripe ids are
+	// relative to TableView's geometry.
 	WriteStripes []uint32
+
+	// TableView is the orec-table stripe geometry the attempt runs under,
+	// stamped by the engine in Begin and revalidated at commit: an online
+	// stripe resize between the two bumps the table generation, and a
+	// writer whose stripe set was recorded under a stale geometry aborts
+	// and re-executes against the new table (RevalidateTableGen).
+	TableView locktable.View
 
 	// OnCommit holds actions deferred until the attempt commits (e.g.
 	// condition-variable signals, which must not fire from an attempt
@@ -225,13 +234,32 @@ func (tx *Tx) OldValue(addr *uint64) (uint64, bool) {
 // distinct stripe, bounded by the table's stripe count — so a linear
 // dedup scan beats a map.
 func (tx *Tx) NoteWriteStripe(idx uint32) {
-	s := tx.Sys.Table.StripeOf(idx)
+	s := tx.TableView.StripeOf(idx)
 	for _, x := range tx.WriteStripes {
 		if x == s {
 			return
 		}
 	}
 	tx.WriteStripes = append(tx.WriteStripes, s)
+}
+
+// StampTableView captures the orec-table stripe geometry for the attempt.
+// Engines call it from Begin so that every stripe the attempt names
+// (NoteWriteStripe) is relative to one consistent generation.
+func (tx *Tx) StampTableView() { tx.TableView = tx.Sys.Table.Current() }
+
+// RevalidateTableGen aborts the attempt if the orec-table stripe geometry
+// changed since Begin. Engines call it in Commit, before making a writer's
+// effects durable: the attempt's WriteStripes were named under TableView's
+// generation, and the post-commit wakeup must not be handed stripe ids
+// from a geometry the condition-synchronization registries have migrated
+// away from. Aborting re-executes the transaction against the new table —
+// the per-transaction cost of an online stripe resize.
+func (tx *Tx) RevalidateTableGen() {
+	if tx.TableView.Gen != tx.Sys.Table.Gen() {
+		tx.Sys.Stats.GenAborts.Add(1)
+		tx.Abort(AbortConflict)
+	}
 }
 
 // LogWait appends an address/value pair to the waitset.
@@ -428,6 +456,20 @@ type Stats struct {
 	// its lock set; with one stripe this degenerates to the old global
 	// every-sleeper scan.
 	OrigShardChecks atomic.Uint64
+
+	// StripeResizes counts online stripe-geometry swaps (adaptive
+	// controller decisions and forced-schedule resizes alike).
+	StripeResizes atomic.Uint64
+
+	// GenAborts counts commit-time aborts caused by a stripe resize
+	// landing between an attempt's Begin and its Commit — the
+	// per-transaction cost of an epoch swap.
+	GenAborts atomic.Uint64
+
+	// MigratedWaiters counts sleeping waiters (Deschedule and Retry-Orig
+	// entries together) carried across stripe-geometry swaps by the
+	// registry migration.
+	MigratedWaiters atomic.Uint64
 }
 
 // Attempts returns the total number of finished transaction attempts
@@ -464,6 +506,9 @@ func (s *Stats) Snapshot() map[string]uint64 {
 		"wake_checks":       s.WakeChecks.Load(),
 		"batched_signals":   s.BatchedSignals.Load(),
 		"orig_shard_checks": s.OrigShardChecks.Load(),
+		"stripe_resizes":    s.StripeResizes.Load(),
+		"gen_aborts":        s.GenAborts.Load(),
+		"migrated_waiters":  s.MigratedWaiters.Load(),
 	}
 }
 
@@ -471,12 +516,46 @@ func (s *Stats) Snapshot() map[string]uint64 {
 type Config struct {
 	// TableSize is the number of orecs (power of two). 0 selects the default.
 	TableSize int
-	// Stripes is the number of cache-line-padded orec-table stripes
-	// (power of two, at most TableSize). 0 selects the default
+	// Stripes is the initial number of cache-line-padded orec-table
+	// stripes (power of two, at most TableSize). 0 selects the default
 	// (locktable.DefaultStripes, clamped to the table size). Stripe count
 	// is a pure performance knob: any value yields identical observable
-	// behaviour, which the differential harness checks at {1, 4, 64}.
+	// behaviour, which the differential harness checks at {1, 4, 64} and
+	// under forced online resizes.
 	Stripes int
+	// MinStripes / MaxStripes bound the adaptive stripe controller
+	// (package core): when MaxStripes > MinStripes, the controller samples
+	// contention over fixed commit windows and doubles or halves the
+	// stripe count online within these bounds. Both default to Stripes,
+	// which pins the count (MinStripes == MaxStripes disables adaptation).
+	// Both must be powers of two with MinStripes <= Stripes <= MaxStripes
+	// <= TableSize.
+	MinStripes, MaxStripes int
+	// AdaptWindow is the number of writer commits per controller decision
+	// window (default 64: small enough that converging from one stripe to
+	// sixty-four costs only a few hundred commits of transient).
+	AdaptWindow int
+	// AdaptGrow is the futile-scan threshold above which the controller
+	// doubles the stripe count: futile wakeup-scan visits (wake checks
+	// plus Retry-Orig registry checks that woke nobody) per writer commit
+	// in the window. Default 0.005 — one wasted visit per 200 commits.
+	AdaptGrow float64
+	// AdaptShrink is the total-scan threshold below which a window counts
+	// as quiet (default 0.0005): only after several consecutive quiet
+	// windows — near-zero waiter visits per commit, useful or not — does
+	// the controller halve the stripe count. The asymmetry (grow on one
+	// bad window, shrink on sustained silence) plus the gap between the
+	// thresholds is the hysteresis that prevents oscillation.
+	AdaptShrink float64
+	// ResizeEvery, with ResizeSchedule, replaces the adaptive policy with
+	// a deterministic forced-resize schedule: every ResizeEvery writer
+	// commits the controller resizes to the next count in ResizeSchedule,
+	// cycling. A testing knob: the differential harness uses it to prove
+	// online resizing observably inert (tmcheck -adaptive).
+	ResizeEvery int
+	// ResizeSchedule lists the forced-resize stripe counts (powers of
+	// two); see ResizeEvery.
+	ResizeSchedule []int
 	// Quiesce enables privatization safety: a committing writer waits for
 	// all concurrent transactions that started before its commit.
 	Quiesce bool
@@ -518,6 +597,51 @@ func (c Config) withDefaults() Config {
 			c.Stripes = c.TableSize
 		}
 	}
+	// Reject malformed stripe bounds and forced schedules here, at system
+	// construction, rather than letting locktable panic on a committing
+	// application thread at the first resize.
+	for _, s := range c.ResizeSchedule {
+		if s <= 0 || s&(s-1) != 0 {
+			panic(fmt.Sprintf("tm: ResizeSchedule entry %d is not a positive power of two", s))
+		}
+	}
+	if c.MinStripes < 0 || c.MinStripes&(c.MinStripes-1) != 0 {
+		panic(fmt.Sprintf("tm: MinStripes %d is not a positive power of two", c.MinStripes))
+	}
+	if c.MinStripes == 0 {
+		c.MinStripes = c.Stripes
+	}
+	if c.MaxStripes == 0 {
+		// Default to a pinned count, except that a forced-resize schedule
+		// implies headroom for its largest entry.
+		c.MaxStripes = c.Stripes
+		for _, s := range c.ResizeSchedule {
+			if s > c.MaxStripes {
+				c.MaxStripes = s
+			}
+		}
+	}
+	if c.MaxStripes > c.TableSize {
+		c.MaxStripes = c.TableSize
+	}
+	if c.MinStripes > c.MaxStripes {
+		c.MinStripes = c.MaxStripes
+	}
+	if c.Stripes < c.MinStripes {
+		c.Stripes = c.MinStripes
+	}
+	if c.Stripes > c.MaxStripes {
+		c.Stripes = c.MaxStripes
+	}
+	if c.AdaptWindow == 0 {
+		c.AdaptWindow = 64
+	}
+	if c.AdaptGrow == 0 {
+		c.AdaptGrow = 0.005
+	}
+	if c.AdaptShrink == 0 {
+		c.AdaptShrink = 0.0005
+	}
 	if c.HTMReadCap == 0 {
 		c.HTMReadCap = 4096
 	}
@@ -546,10 +670,13 @@ type System struct {
 	// writeOrecs and writeStripes are the committed attempt's lock set
 	// and the stripes it covers, captured by the driver before any
 	// OnCommit callback or nested transaction could overwrite per-thread
-	// state. The hook must treat them as read-only and must not retain
-	// them past its return: the driver recycles the backing arrays for
-	// the thread's next commit.
-	PostCommit func(t *Thread, writeOrecs, writeStripes []uint32)
+	// state. gen is the orec-table geometry generation the stripes were
+	// named under (the attempt's TableView): a hook whose registries have
+	// moved to a newer generation must re-derive stripes from writeOrecs
+	// or fall back to a full scan. The hook must treat the slices as
+	// read-only and must not retain them past its return: the driver
+	// recycles the backing arrays for the thread's next commit.
+	PostCommit func(t *Thread, gen uint64, writeOrecs, writeStripes []uint32)
 
 	// Ext points at the condition-synchronization layer (package core)
 	// when one is enabled; tm itself never inspects it.
@@ -572,7 +699,7 @@ type System struct {
 // capture the system's clock and table.
 func NewSystem(cfg Config, mk func(*System) Engine) *System {
 	cfg = cfg.withDefaults()
-	s := &System{Cfg: cfg, Table: locktable.NewSharded(cfg.TableSize, cfg.Stripes)}
+	s := &System{Cfg: cfg, Table: locktable.NewResizable(cfg.TableSize, cfg.Stripes, cfg.MaxStripes)}
 	s.pool.init()
 	s.Engine = mk(s)
 	return s
@@ -835,6 +962,7 @@ func (t *Thread) attempt(tx *Tx, fn func(tx *Tx)) (res attemptResult) {
 	// it on return; our locals stay intact throughout.
 	writeOrecs := append(t.postOrecs[:0], tx.WriteOrecs...)
 	writeStripes := append(t.postStripes[:0], tx.WriteStripes...)
+	gen := tx.TableView.Gen
 	t.postOrecs, t.postStripes = nil, nil
 	deferred := tx.OnCommit
 	tx.OnCommit = nil
@@ -849,7 +977,7 @@ func (t *Thread) attempt(tx *Tx, fn func(tx *Tx)) (res attemptResult) {
 	}
 	if wrote && t.Sys.PostCommit != nil && !t.inPostCommit {
 		t.inPostCommit = true
-		t.Sys.PostCommit(t, writeOrecs, writeStripes)
+		t.Sys.PostCommit(t, gen, writeOrecs, writeStripes)
 		t.inPostCommit = false
 	}
 	t.postOrecs, t.postStripes = writeOrecs[:0], writeStripes[:0]
