@@ -10,15 +10,17 @@
 // batch remove, runs the adaptive-vs-static sweep (the same wakeup-bound
 // cells with the online stripe controller enabled and a deliberately
 // wrong one-stripe start, judged against the best static configuration),
+// runs the cross-commit coalescing sweep (the tight-loop producer workload
+// at CoalesceCommits 0/2/8 plus buffer and Retry-Orig regression guards),
 // and writes one machine-readable JSON report (schema tmsync-bench/1; see
 // README "Benchmark pipeline").
 //
 // Usage:
 //
-//	go run ./cmd/tmbench -seed 1 -threads 1,2,4,8          # full sweep -> BENCH_PR4.json
+//	go run ./cmd/tmbench -seed 1 -threads 1,2,4,8          # full sweep -> BENCH_PR5.json
 //	go run ./cmd/tmbench -quick -out /tmp/bench.json       # reduced ops (CI, smoke)
 //	go run ./cmd/tmbench -workloads buffer -mechs retry    # narrow the axes
-//	go run ./cmd/tmbench -diff BENCH_PR3.json              # trajectory diff vs a prior report
+//	go run ./cmd/tmbench -diff BENCH_PR4.json              # trajectory diff vs a prior report
 //
 // The trajectory diff defaults to the previous PR's committed report and
 // is skipped with a note when that file is absent; an explicitly named
@@ -57,10 +59,13 @@ func main() {
 	origPasses := flag.Int("orig-passes", 0, "token hand-offs per Retry-Orig ring worker (0 = default)")
 	adaptiveThreadsFlag := flag.String("adaptive-threads", "8", "goroutine counts for the adaptive-vs-static stripe sweep (empty = skip)")
 	adaptiveOrigPasses := flag.Int("adaptive-orig-passes", 0, "token hand-offs per ring worker in the adaptive Retry-Orig cells (0 = default)")
+	coalesceThreadsFlag := flag.String("coalesce-threads", "8", "goroutine counts for the cross-commit wakeup coalescing sweep (empty = skip)")
+	coalesceKsFlag := flag.String("coalesce-ks", "", "CoalesceCommits values for the tight-loop cells (default 0,2,8; 0 is always included)")
+	tightloopOps := flag.Int("tightloop-ops", 0, "tight-loop producer commits per lane in the coalesce sweep (0 = default)")
 	noBaseline := flag.Bool("no-baseline", false, "skip the Pthreads lock+condvar baseline rows")
 	quick := flag.Bool("quick", false, "reduced operation counts (CI and smoke tests)")
-	out := flag.String("out", "BENCH_PR4.json", "output path for the JSON report")
-	diff := flag.String("diff", "BENCH_PR3.json", "prior report to diff wake-checks/commit and signals/commit against (\"\" = skip); a missing file is fatal only when -diff was given explicitly")
+	out := flag.String("out", "BENCH_PR5.json", "output path for the JSON report")
+	diff := flag.String("diff", "BENCH_PR4.json", "prior report to diff wake-checks/commit and signals/commit against (\"\" = skip); a missing file is fatal only when -diff was given explicitly")
 	verbose := flag.Bool("v", false, "per-point progress lines")
 	flag.Parse()
 	diffExplicit := false
@@ -82,6 +87,9 @@ func main() {
 		OrigPasses:         *origPasses,
 		AdaptiveThreads:    parseInts(*adaptiveThreadsFlag, "adaptive-threads"),
 		AdaptiveOrigPasses: *adaptiveOrigPasses,
+		CoalesceThreads:    parseInts(*coalesceThreadsFlag, "coalesce-threads"),
+		CoalesceKs:         parseIntsMin(*coalesceKsFlag, "coalesce-ks", 0),
+		TightloopOps:       *tightloopOps,
 		Baseline:           !*noBaseline,
 	}
 	if *enginesFlag != "" {
@@ -107,6 +115,9 @@ func main() {
 		}
 		if o.AdaptiveOrigPasses == 0 {
 			o.AdaptiveOrigPasses = 300
+		}
+		if o.TightloopOps == 0 {
+			o.TightloopOps = 200
 		}
 	}
 
@@ -151,8 +162,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("benchmark report: %d points + %d stripe-sweep points + %d orig-sweep points + %d adaptive points -> %s\n",
-		len(rep.Points), len(rep.StripeSweep), len(rep.OrigSweep), len(rep.AdaptiveSweep), *out)
+	fmt.Printf("benchmark report: %d points + %d stripe-sweep points + %d orig-sweep points + %d adaptive points + %d coalesce points -> %s\n",
+		len(rep.Points), len(rep.StripeSweep), len(rep.OrigSweep), len(rep.AdaptiveSweep), len(rep.CoalesceSweep), *out)
 	if v := rep.StripeVerdict; v != nil {
 		fmt.Printf("stripe sweep (%s, %d goroutines): wakeup checks per commit %.2f @ %d stripe(s) vs %.2f @ %d stripes\n",
 			v.Workload, v.Threads, v.WakeupsPerCommitLow, v.LowStripes, v.WakeupsPerCommitHigh, v.HighStripes)
@@ -186,6 +197,21 @@ func main() {
 			fmt.Println("adaptive verdict: did not land within 10% of the best static configuration on this run")
 		}
 	}
+	if v := rep.CoalesceVerdict; v != nil {
+		fmt.Printf("coalesce sweep (%d goroutines, K=%d vs per-commit scans):\n", v.Threads, v.K)
+		fmt.Printf("  tightloop wake-checks/commit: %.3f -> %.3f, throughput %.0f -> %.0f ops/s (improved: %v)\n",
+			v.TightloopChecksPerCommitOff, v.TightloopChecksPerCommitOn,
+			v.TightloopThroughputOff, v.TightloopThroughputOn, v.TightloopImproved)
+		fmt.Printf("  buffer    wake-checks/commit: %.3f -> %.3f (no regression: %v)\n",
+			v.BufferChecksPerCommitOff, v.BufferChecksPerCommitOn, v.BufferNoRegression)
+		fmt.Printf("  origring  orig-checks/commit: %.3f -> %.3f (no regression: %v)\n",
+			v.OrigChecksPerCommitOff, v.OrigChecksPerCommitOn, v.OrigNoRegression)
+		if v.Improved {
+			fmt.Println("coalesce verdict: IMPROVED (tight-loop scans coalesced; blocking workloads unharmed)")
+		} else {
+			fmt.Println("coalesce verdict: no improvement measured on this run")
+		}
+	}
 	if prior != nil {
 		fmt.Printf("trajectory diff against %s:\n", *diff)
 		for _, line := range perf.DiffReports(prior, rep) {
@@ -195,13 +221,19 @@ func main() {
 }
 
 func parseInts(s, flagName string) []int {
+	return parseIntsMin(s, flagName, 1)
+}
+
+// parseIntsMin parses a comma-separated int list rejecting entries below
+// min (-coalesce-ks legitimately includes 0, thread ladders do not).
+func parseIntsMin(s, flagName string, min int) []int {
 	if s == "" {
 		return nil
 	}
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n <= 0 {
+		if err != nil || n < min {
 			fmt.Fprintf(os.Stderr, "tmbench: bad -%s entry %q\n", flagName, part)
 			os.Exit(2)
 		}

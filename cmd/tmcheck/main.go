@@ -14,6 +14,14 @@
 //	go run ./cmd/tmcheck -parsec -scale 2       # PARSEC skeletons instead
 //	go run ./cmd/tmcheck -n 5 -inject           # prove the checker detects faults
 //	go run ./cmd/tmcheck -n 15 -adaptive        # forced online stripe resizes (1->4->64->16)
+//	go run ./cmd/tmcheck -n 15 -coalesce 8      # cross-commit wakeup coalescing (flush every 8)
+//
+// Mode flags are validated for coherence before anything runs: -stripes
+// pins a static count and therefore contradicts -adaptive's forced resize
+// schedule, -resize-every modifies only -adaptive, and -unbatched
+// (signal-at-claim delivery) contradicts -coalesce (a deferred scan IS a
+// batch carried across commits). Nonsensical combinations exit 2 instead
+// of silently running just one of the modes.
 //
 // Exit status is 0 iff every execution matched its oracle (inverted under
 // -inject: the run fails if any injected fault goes undetected).
@@ -42,6 +50,7 @@ func main() {
 	adaptive := flag.Bool("adaptive", false, "force a deterministic online stripe-resize schedule (1 -> 4 -> 64 -> 16, cycling) while the suite runs; resizing is a pure performance mechanism, so outcomes must be identical")
 	resizeEvery := flag.Int("resize-every", 10, "writer commits between forced resizes (with -adaptive)")
 	unbatched := flag.Bool("unbatched", false, "signal-at-claim wakeup delivery instead of the per-commit batch; must yield identical outcomes")
+	coalesce := flag.Int("coalesce", 0, "cross-commit wakeup coalescing: defer post-commit wake scans across up to this many adjacent commits per thread (0 = scan every commit); must yield identical outcomes")
 	only := flag.String("mech", "", "restrict to one mechanism (default: all applicable)")
 	parsec := flag.Bool("parsec", false, "check the eight PARSEC skeletons instead of random scenarios")
 	scale := flag.Int("scale", 1, "PARSEC workload scale (with -parsec)")
@@ -49,16 +58,40 @@ func main() {
 	verbose := flag.Bool("v", false, "per-scenario progress and the engine × mechanism breakdown")
 	flag.Parse()
 
-	if *stripes < 0 || (*stripes > 0 && *stripes&(*stripes-1) != 0) || *stripes > locktable.DefaultSize {
-		fmt.Fprintf(os.Stderr, "tmcheck: -stripes %d must be a power of two in [1, %d] (or 0 for the default)\n", *stripes, locktable.DefaultSize)
+	// Flag-coherence validation. Each mode flag selects one experiment;
+	// some overlap (coalescing under forced resizes is a meaningful
+	// cross), others contradict each other outright. The contradictions
+	// used to be accepted silently, with one flag winning arbitrarily — a
+	// green run that never tested what the invocation claimed.
+	resizeEveryExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "resize-every" {
+			resizeEveryExplicit = true
+		}
+	})
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tmcheck: "+format+"\n", args...)
 		os.Exit(2)
 	}
-
+	if *stripes < 0 || (*stripes > 0 && *stripes&(*stripes-1) != 0) || *stripes > locktable.DefaultSize {
+		fail("-stripes %d must be a power of two in [1, %d] (or 0 for the default)", *stripes, locktable.DefaultSize)
+	}
+	if *coalesce < 0 {
+		fail("-coalesce %d must be >= 0", *coalesce)
+	}
+	if *stripes > 0 && *adaptive {
+		fail("-stripes pins a static stripe count and contradicts -adaptive's forced resize schedule; pick one")
+	}
+	if resizeEveryExplicit && !*adaptive {
+		fail("-resize-every modifies -adaptive and does nothing alone; add -adaptive or drop it")
+	}
+	if *unbatched && *coalesce > 0 {
+		fail("-unbatched (signal-at-claim delivery) contradicts -coalesce (a deferred scan is a batch carried across commits); pick one")
+	}
 	if *parsec && *inject {
 		// Fault injection rewrites generated programs; the PARSEC
 		// skeletons are fixed workloads with nothing to inject into.
-		fmt.Fprintln(os.Stderr, "tmcheck: -inject applies to randomized scenarios only, not -parsec")
-		os.Exit(2)
+		fail("-inject applies to randomized scenarios only, not -parsec")
 	}
 
 	engines := harness.Engines
@@ -76,19 +109,16 @@ func main() {
 		engines = []string{*engine}
 	}
 
-	knobs := harness.Knobs{Stripes: *stripes, Unbatched: *unbatched}
+	knobs := harness.Knobs{Stripes: *stripes, Unbatched: *unbatched, CoalesceCommits: *coalesce}
 	if *adaptive {
 		// The forced schedule drives the stripe count through growth,
 		// large jumps, and shrinkage (1 -> 4 -> 64 -> 16, cycling) while
 		// waiters sleep across the swaps; every engine x mechanism run
 		// must still match the sequential oracle exactly.
 		if *resizeEvery <= 0 {
-			fmt.Fprintln(os.Stderr, "tmcheck: -resize-every must be positive")
-			os.Exit(2)
+			fail("-resize-every must be positive")
 		}
-		if knobs.Stripes == 0 {
-			knobs.Stripes = 1 // start deliberately wrong: the old global table
-		}
+		knobs.Stripes = 1 // start deliberately wrong: the old global table
 		knobs.ResizeEvery = *resizeEvery
 		knobs.ResizeSchedule = []int{4, 64, 16, 1}
 	}

@@ -1,0 +1,164 @@
+// Cross-commit wakeup coalescing (Config.CoalesceCommits): instead of
+// scanning the waiter registries after every writer commit, the committing
+// thread accumulates each commit's write orecs and stripes — generation-
+// tagged, merged across the adaptive table's views — into a per-thread
+// pending buffer and replays one merged scan when a flush bound trips.
+// ROADMAP's "batch wakeups across adjacent commits" item, the cross-commit
+// extension of Algorithm 4's deferred semaphore operations.
+//
+// Deferring a scan is safe because a commit's memory effects are visible
+// the moment it commits; only the *notification* is delayed. A waiter
+// published after the commit double-checks its predicate against the
+// already-committed state and never sleeps on it, and a waiter published
+// before stays in the registries (resize migrations keep old-tier lists
+// intact) until the merged scan visits it. What deferral does cost is
+// latency, so every path on which the owing thread could stop committing
+// is a flush bound:
+//
+//   - the K bound: the buffer holds at most CoalesceCommits commits, and
+//     read-only attempts finished while the buffer is pending count
+//     toward the same K — a thread that stops writing but keeps
+//     transacting on unrelated data must not delay its wakeups forever;
+//   - block: the thread deschedules, sleeps in Retry-Orig, or waits on a
+//     condition variable (tm's driver flushes before every Signal handler,
+//     and condvar's handler flushes again after its punctuation-commit
+//     scan, so condvar signal chains are never deferred behind a sleep);
+//   - abort: the thread's next attempt aborts or restarts — the conflict
+//     it lost may be against the very threads the deferred scans would
+//     wake;
+//   - read-back: a transaction that ends WITHOUT a writer commit after
+//     reading a pending stripe (Tx.Read detects the read) — the thread is
+//     polling the very data sleeping waiters watch, possibly waiting for
+//     a peer that is itself asleep behind the deferred scan, and no
+//     commit bound would ever save it. Writer attempts are exempt: a
+//     read-modify-write loop re-reads its own pending stripes on every
+//     iteration by construction, and flushing on that would silently
+//     collapse every K to one;
+//   - teardown: Thread.Detach, the bound of last resort — without it a
+//     worker that simply stops running transactions would strand its
+//     deferred wakeups forever, which is why coalescing is opt-in.
+//
+// The merged scan itself reuses the single-commit machinery: wakeWaiters
+// re-derives stripes from the merged orec set when the table generation
+// moved under the buffer, and origWake always derives its shard set from
+// orecs under the scan-time view.
+package core
+
+import (
+	"sync/atomic"
+
+	"tmsync/internal/sem"
+	"tmsync/internal/tm"
+)
+
+// accumulate merges one committed attempt's write set into the thread's
+// pending buffer. The hook contract forbids retaining the driver's slices,
+// so both sets are copied (deduplicated — across K adjacent commits of a
+// tight loop they overlap almost completely, which is the whole point).
+func (cs *CondSync) accumulate(t *tm.Thread, gen uint64, writeOrecs, writeStripes []uint32) {
+	first := t.PendingCommits == 0
+	t.PendingCommits++
+	if len(writeOrecs) == 0 {
+		// The commit recorded no orecs (the HTM serial fallback): the
+		// merged flush must scan every shard, exactly as the immediate
+		// path would have for this commit alone.
+		t.PendingFull = true
+	}
+	t.PendingOrecs = mergeSlots(t.PendingOrecs, writeOrecs)
+	switch {
+	case first:
+		t.PendingGen = gen
+		t.PendingStripes = append(t.PendingStripes[:0], writeStripes...)
+	case gen == t.PendingGen:
+		t.PendingStripes = mergeSlots(t.PendingStripes, writeStripes)
+	default:
+		// The stripe geometry moved between accumulated commits: stripe
+		// ids from different generations must not be mixed, so re-derive
+		// the merged set from the (generation-independent) orecs under the
+		// current view. The flush re-derives once more if the table moves
+		// again before it runs.
+		cur := cs.sys.Table.Current()
+		t.PendingGen = cur.Gen
+		t.PendingStripes = cur.StripesOf(t.PendingOrecs, t.PendingStripes[:0])
+	}
+}
+
+// mergeSlots appends the elements of src missing from dst. Both sets are
+// tiny (bounded by the write set of K commits), so linear dedup beats a map.
+func mergeSlots(dst, src []uint32) []uint32 {
+outer:
+	for _, v := range src {
+		for _, x := range dst {
+			if x == v {
+				continue outer
+			}
+		}
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// flushWakeups is installed as the system's FlushWakeups hook; the driver
+// invokes it at the flush bounds it can see (always on the owning thread).
+// FlushAttemptEnd is the one conditional trigger: an attempt that ended
+// without a writer commit flushes only if it read a pending stripe.
+func (cs *CondSync) flushWakeups(t *tm.Thread, why tm.FlushReason) {
+	if t.PendingCommits == 0 {
+		return
+	}
+	st := &cs.sys.Stats
+	switch why {
+	case tm.FlushAttemptEnd:
+		if t.PendingReadHit {
+			cs.flushPending(t, &st.FlushReasonRead)
+			return
+		}
+		// Backstop bound: a thread that stops writing but keeps running
+		// read-only transactions on unrelated data trips none of the
+		// other triggers, so read-only attempts count toward the same K
+		// as commits — the deferred wakeups' delay stays bounded by K
+		// attempts of either kind.
+		t.PendingIdle++
+		if t.PendingIdle >= cs.sys.Cfg.CoalesceCommits {
+			cs.flushPending(t, &st.FlushReasonK)
+		}
+	case tm.FlushAbort:
+		cs.flushPending(t, &st.FlushReasonAbort)
+	case tm.FlushBlock:
+		cs.flushPending(t, &st.FlushReasonBlock)
+	case tm.FlushTeardown:
+		cs.flushPending(t, &st.FlushReasonTeardown)
+	}
+}
+
+// flushPending runs the merged wake scan for everything in the thread's
+// pending buffer and resets it. The buffer is emptied (lengths zeroed,
+// backing arrays kept for reuse) before the scan: the scan's predicate
+// evaluations are read-only transactions on this very thread, whose
+// attempt-end and abort paths re-enter FlushPending — with the buffer
+// already empty those re-entries are no-ops, so the flush cannot recurse.
+func (cs *CondSync) flushPending(t *tm.Thread, reason *atomic.Uint64) {
+	gen, full := t.PendingGen, t.PendingFull
+	orecs, stripes := t.PendingOrecs, t.PendingStripes
+	t.PendingOrecs = t.PendingOrecs[:0]
+	t.PendingStripes = t.PendingStripes[:0]
+	t.PendingCommits = 0
+	t.PendingIdle = 0
+	t.PendingFull = false
+	t.PendingReadHit = false
+	reason.Add(1)
+
+	var batch sem.Batch
+	if full {
+		// Generation 0 never matches a live view and nil orecs cannot be
+		// re-derived, so wakeWaiters degenerates to the conservative
+		// every-shard scan; the merged orecs still drive origWake.
+		cs.wakeWaiters(t, 0, nil, nil, &batch)
+	} else {
+		cs.wakeWaiters(t, gen, orecs, stripes, &batch)
+	}
+	cs.origWake(orecs, &batch)
+	if n := batch.SignalAll(); n > 0 {
+		cs.sys.Stats.BatchedSignals.Add(uint64(n))
+	}
+}

@@ -1,0 +1,361 @@
+package core_test
+
+// Tests for cross-commit wakeup coalescing (Config.CoalesceCommits): a
+// committing writer defers its post-commit wake scans into a per-thread
+// pending buffer, and every flush bound — the K-commit limit, the thread
+// blocking, an abort/restart, a read back into a pending stripe, thread
+// teardown — must deliver the deferred wakeups. Run under -race in CI: the
+// pending buffer is single-thread state, but the flushes drive the same
+// claim CASes and shard locks as immediate scans.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"tmsync/internal/condvar"
+	"tmsync/internal/core"
+	"tmsync/internal/htm"
+	"tmsync/internal/hybrid"
+	"tmsync/internal/stm/eager"
+	"tmsync/internal/stm/lazy"
+	"tmsync/internal/tm"
+)
+
+// coalesceSys builds a system for the named engine with cross-commit
+// coalescing at bound k and condition synchronization enabled.
+func coalesceSys(kind string, cfg tm.Config) (*tm.System, *core.CondSync) {
+	var sys *tm.System
+	switch kind {
+	case "eager":
+		cfg.Quiesce = true
+		sys = tm.NewSystem(cfg, eager.New)
+	case "lazy":
+		cfg.Quiesce = true
+		sys = tm.NewSystem(cfg, lazy.New)
+	case "htm":
+		sys = tm.NewSystem(cfg, htm.New)
+	case "hybrid":
+		cfg.Quiesce = true
+		sys = tm.NewSystem(cfg, hybrid.New)
+	default:
+		panic(kind)
+	}
+	cs := core.Enable(sys)
+	return sys, cs
+}
+
+func forEachCoalesce(t *testing.T, kinds []string, cfg tm.Config, fn func(t *testing.T, sys *tm.System, cs *core.CondSync)) {
+	t.Helper()
+	for _, k := range kinds {
+		t.Run(k, func(t *testing.T) {
+			sys, cs := coalesceSys(k, cfg)
+			fn(t, sys, cs)
+		})
+	}
+}
+
+// park puts a waiter to sleep on *flag (Retry on flag == 0) and returns a
+// channel closed when the waiter's atomic block completes.
+func park(sys *tm.System, cs *core.CondSync, flag *uint64) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		thr := sys.NewThread()
+		thr.Atomic(func(tx *tm.Tx) {
+			if tx.Read(flag) == 0 {
+				core.Retry(tx)
+			}
+		})
+	}()
+	return done
+}
+
+// TestCoalesceFlushesAtCommitBound defers a wake-enabling commit behind
+// two unrelated ones: the waiter must stay asleep through the deferred
+// commits — the whole point of coalescing — and wake exactly when the
+// K-commit bound flushes the merged scan.
+func TestCoalesceFlushesAtCommitBound(t *testing.T) {
+	forEachCoalesce(t, allEngines, tm.Config{CoalesceCommits: 3}, func(t *testing.T, sys *tm.System, cs *core.CondSync) {
+		var flag, other uint64
+		done := park(sys, cs, &flag)
+		waitCond(t, "waiter asleep", func() bool { return cs.WaitingLen() == 1 })
+
+		writer := sys.NewThread()
+		writer.Atomic(func(tx *tm.Tx) { tx.Write(&flag, 1) })
+		time.Sleep(50 * time.Millisecond)
+		select {
+		case <-done:
+			t.Fatal("waiter woke before the flush bound: the scan was not deferred")
+		default:
+		}
+		if got := sys.Stats.Wakeups.Load(); got != 0 {
+			t.Fatalf("wakeups = %d before the flush bound, want 0", got)
+		}
+		writer.Atomic(func(tx *tm.Tx) { tx.Write(&other, 1) })
+		writer.Atomic(func(tx *tm.Tx) { tx.Write(&other, 2) })
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter never woke after the K-commit flush")
+		}
+		// Commits 1 and 2 stayed deferred past their own postCommit; the
+		// third flushed immediately at the K bound and is not counted.
+		if got := sys.Stats.CoalescedScans.Load(); got != 2 {
+			t.Errorf("coalesced_scans = %d, want 2", got)
+		}
+		if got := sys.Stats.FlushReasonK.Load(); got != 1 {
+			t.Errorf("flush_k = %d, want 1", got)
+		}
+	})
+}
+
+// TestCoalesceFlushesOnReadBack: a writer that reads a pending stripe in a
+// later (read-only) transaction is polling the very data its unscanned
+// commit changed; the read must trip a flush at that attempt's end.
+func TestCoalesceFlushesOnReadBack(t *testing.T) {
+	forEachCoalesce(t, allEngines, tm.Config{CoalesceCommits: 1 << 20}, func(t *testing.T, sys *tm.System, cs *core.CondSync) {
+		var flag uint64
+		done := park(sys, cs, &flag)
+		waitCond(t, "waiter asleep", func() bool { return cs.WaitingLen() == 1 })
+
+		writer := sys.NewThread()
+		writer.Atomic(func(tx *tm.Tx) { tx.Write(&flag, 1) })
+		time.Sleep(50 * time.Millisecond)
+		if got := sys.Stats.Wakeups.Load(); got != 0 {
+			t.Fatalf("wakeups = %d before any flush bound, want 0", got)
+		}
+		writer.Atomic(func(tx *tm.Tx) { _ = tx.Read(&flag) })
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter never woke after the writer read back into the pending stripe")
+		}
+		if got := sys.Stats.FlushReasonRead.Load(); got != 1 {
+			t.Errorf("flush_read = %d, want 1", got)
+		}
+	})
+}
+
+// TestCoalesceFlushesAfterIdleReadOnlyAttempts: a thread that stops
+// writing but keeps running read-only transactions on UNRELATED data
+// trips no other bound — the K backstop must count those attempts and
+// flush, or the waiter's delay would be unbounded while the writer is
+// still happily transacting.
+func TestCoalesceFlushesAfterIdleReadOnlyAttempts(t *testing.T) {
+	forEachCoalesce(t, allEngines, tm.Config{CoalesceCommits: 3}, func(t *testing.T, sys *tm.System, cs *core.CondSync) {
+		// Distinct stripes, so the read-only attempts cannot trip the
+		// read-back trigger instead of the backstop under scrutiny.
+		addrs := disjointStripeAddrs(t, sys, 2)
+		flag, unrelated := addrs[0], addrs[1]
+		done := park(sys, cs, flag)
+		waitCond(t, "waiter asleep", func() bool { return cs.WaitingLen() == 1 })
+
+		writer := sys.NewThread()
+		writer.Atomic(func(tx *tm.Tx) { tx.Write(flag, 1) })
+		time.Sleep(50 * time.Millisecond)
+		if got := sys.Stats.Wakeups.Load(); got != 0 {
+			t.Fatalf("wakeups = %d before any flush bound, want 0", got)
+		}
+		// Read-only attempts over data sharing nothing with the pending
+		// write; the third one reaches the K backstop.
+		for i := 0; i < 3; i++ {
+			writer.Atomic(func(tx *tm.Tx) { _ = tx.Read(unrelated) })
+		}
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter never woke: idle read-only attempts did not trip the K backstop")
+		}
+		// STM-instrumented commits flush at the idle backstop; an engine
+		// whose commit recorded no orecs (a hardware transaction) marks
+		// the buffer full-scan, which makes every subsequent read a
+		// conservative read-back hit instead — either way the flush must
+		// have come from an attempt-end trigger, not block/abort/teardown.
+		k, read := sys.Stats.FlushReasonK.Load(), sys.Stats.FlushReasonRead.Load()
+		if k+read != 1 {
+			t.Errorf("flush_k = %d, flush_read = %d; want exactly one attempt-end flush", k, read)
+		}
+	})
+}
+
+// TestCoalesceFlushesOnRestart: an aborted/restarted attempt is a flush
+// bound — the conflict may be against the very thread the deferred scan
+// would wake.
+func TestCoalesceFlushesOnRestart(t *testing.T) {
+	forEachCoalesce(t, allEngines, tm.Config{CoalesceCommits: 1 << 20}, func(t *testing.T, sys *tm.System, cs *core.CondSync) {
+		var flag, unrelated uint64
+		done := park(sys, cs, &flag)
+		waitCond(t, "waiter asleep", func() bool { return cs.WaitingLen() == 1 })
+
+		writer := sys.NewThread()
+		writer.Atomic(func(tx *tm.Tx) { tx.Write(&flag, 1) })
+		first := true
+		writer.Atomic(func(tx *tm.Tx) {
+			_ = tx.Read(&unrelated)
+			if first {
+				first = false
+				tx.Restart()
+			}
+		})
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter never woke after the writer's restarted attempt")
+		}
+		if got := sys.Stats.FlushReasonAbort.Load(); got < 1 {
+			t.Errorf("flush_abort = %d, want >= 1", got)
+		}
+	})
+}
+
+// TestCoalesceFlushesOnDetach: teardown is the bound of last resort — a
+// worker that stops running transactions flushes via Thread.Detach.
+func TestCoalesceFlushesOnDetach(t *testing.T) {
+	forEachCoalesce(t, allEngines, tm.Config{CoalesceCommits: 1 << 20}, func(t *testing.T, sys *tm.System, cs *core.CondSync) {
+		var flag uint64
+		done := park(sys, cs, &flag)
+		waitCond(t, "waiter asleep", func() bool { return cs.WaitingLen() == 1 })
+
+		writer := sys.NewThread()
+		writer.Atomic(func(tx *tm.Tx) { tx.Write(&flag, 1) })
+		time.Sleep(50 * time.Millisecond)
+		if got := sys.Stats.Wakeups.Load(); got != 0 {
+			t.Fatalf("wakeups = %d before Detach, want 0", got)
+		}
+		writer.Detach()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter never woke after Thread.Detach")
+		}
+		if got := sys.Stats.FlushReasonTeardown.Load(); got != 1 {
+			t.Errorf("flush_teardown = %d, want 1", got)
+		}
+	})
+}
+
+// TestCoalesceHandoffNeverWedges runs a two-thread token handoff with a
+// coalesce bound far larger than the pass count: the K bound never trips,
+// so progress depends entirely on the block-bound flush — each thread must
+// drain its deferred scans before sleeping for the next token. A missing
+// block flush wedges the ring immediately.
+func TestCoalesceHandoffNeverWedges(t *testing.T) {
+	forEachCoalesce(t, allEngines, tm.Config{CoalesceCommits: 1 << 20}, func(t *testing.T, sys *tm.System, cs *core.CondSync) {
+		const passes = 30
+		var slots [2]uint64
+		slots[0] = 1
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				thr := sys.NewThread()
+				defer thr.Detach()
+				for p := 0; p < passes; p++ {
+					thr.Atomic(func(tx *tm.Tx) {
+						if tx.Read(&slots[i]) == 0 {
+							core.Retry(tx)
+						}
+						tx.Write(&slots[i], 0)
+						tx.Write(&slots[1-i], 1)
+					})
+				}
+			}(i)
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			t.Fatal("handoff wedged: a deferred wake scan was not flushed at the block bound")
+		}
+		if slots[0] != 1 || slots[1] != 0 {
+			t.Errorf("token state %v after even passes, want [1 0]", slots)
+		}
+		// Which bound fires first depends on the engine: Retry's restart-
+		// to-populate trips the abort bound before the deschedule itself
+		// trips the block bound (hybrid's software re-execution may flush
+		// everything at the restart). Either way the scans flushed early.
+		if b, a := sys.Stats.FlushReasonBlock.Load(), sys.Stats.FlushReasonAbort.Load(); b+a == 0 {
+			t.Error("no block- or abort-bound flushes: the handoff should never reach the K bound")
+		}
+	})
+}
+
+// TestCoalesceAcrossResize accumulates commits across forced online stripe
+// resizes: the pending buffer's stripe set is named under a generation the
+// table abandons mid-accumulation, so the flush must re-derive coverage
+// from the merged orecs — a waiter migrated to the new tier still wakes.
+func TestCoalesceAcrossResize(t *testing.T) {
+	forEachCoalesce(t, stmEngines, tm.Config{Stripes: 4, MinStripes: 1, MaxStripes: 64, CoalesceCommits: 4},
+		func(t *testing.T, sys *tm.System, cs *core.CondSync) {
+			var flag, other uint64
+			done := park(sys, cs, &flag)
+			waitCond(t, "waiter asleep", func() bool { return cs.WaitingLen() == 1 })
+
+			writer := sys.NewThread()
+			writer.Atomic(func(tx *tm.Tx) { tx.Write(&flag, 1) }) // deferred under gen g0
+			cs.Resize(64)                                         // migrate waiter, bump generation
+			writer.Atomic(func(tx *tm.Tx) { tx.Write(&other, 1) })
+			cs.Resize(16)
+			writer.Atomic(func(tx *tm.Tx) { tx.Write(&other, 2) })
+			writer.Atomic(func(tx *tm.Tx) { tx.Write(&other, 3) }) // 4th commit: flush
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Fatal("waiter never woke: the deferred scan did not survive the geometry change")
+			}
+			if got := sys.Stats.StripeResizes.Load(); got < 2 {
+				t.Errorf("stripe_resizes = %d, want >= 2", got)
+			}
+		})
+}
+
+// TestCoalesceCondvarWaitFlushes: a thread entering a condition-variable
+// wait must flush its deferred scans — including the punctuation commit's
+// own — before sleeping; the core waiter it owes a wakeup to must not
+// sleep with it.
+func TestCoalesceCondvarWaitFlushes(t *testing.T) {
+	forEachCoalesce(t, allEngines, tm.Config{CoalesceCommits: 1 << 20}, func(t *testing.T, sys *tm.System, cs *core.CondSync) {
+		var flag uint64
+		cv := condvar.New()
+		done := park(sys, cs, &flag)
+		waitCond(t, "waiter asleep", func() bool { return cs.WaitingLen() == 1 })
+
+		waiting := make(chan struct{})
+		go func() {
+			thr := sys.NewThread()
+			thr.Atomic(func(tx *tm.Tx) { tx.Write(&flag, 1) }) // deferred
+			close(waiting)
+			thr.Atomic(func(tx *tm.Tx) { cv.Wait(tx) }) // must flush before sleeping
+		}()
+		<-waiting
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("core waiter never woke: the condvar sleeper took its deferred scan to bed")
+		}
+		waitCond(t, "condvar sleeper queued", func() bool { return cv.WaitingLen() == 1 })
+		cv.SignalNow() // release the sleeper so the goroutine exits
+	})
+}
+
+// TestCoalesceConfigContradictions pins the Config-level validation: a
+// negative bound and the unbatched/coalesce combination must be rejected
+// at system construction, not discovered as silent misbehaviour.
+func TestCoalesceConfigContradictions(t *testing.T) {
+	for name, cfg := range map[string]tm.Config{
+		"negative":  {CoalesceCommits: -1},
+		"unbatched": {CoalesceCommits: 2, UnbatchedWakeups: true},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewSystem accepted contradictory config %+v", cfg)
+				}
+			}()
+			tm.NewSystem(cfg, eager.New)
+		})
+	}
+}

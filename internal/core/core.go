@@ -171,6 +171,7 @@ func Enable(sys *tm.System) *CondSync {
 	cs.ctl.init(sys.Cfg)
 	sys.Ext = cs
 	sys.PostCommit = cs.postCommit
+	sys.FlushWakeups = cs.flushWakeups
 	return cs
 }
 
@@ -399,6 +400,26 @@ func (cs *CondSync) OrigWaitingLen() int {
 // signal-at-claim delivery for measurement; the observable outcome is
 // identical either way.
 func (cs *CondSync) postCommit(t *tm.Thread, gen uint64, writeOrecs, writeStripes []uint32) {
+	if k := cs.sys.Cfg.CoalesceCommits; k > 0 {
+		// Cross-commit coalescing (see coalesce.go): defer this commit's
+		// scan into the thread's pending buffer and flush here only when
+		// the buffer reaches K commits. A read-back hit noted during THIS
+		// attempt is cleared, not flushed: the attempt ended in a writer
+		// commit, so the K bound governs it — a read-modify-write loop
+		// necessarily re-reads its own pending stripes every iteration,
+		// and flushing on that would quietly reduce every K to one. The
+		// remaining bounds (block, abort, read-only attempts that read a
+		// pending stripe, teardown) flush through the FlushWakeups hook.
+		cs.accumulate(t, gen, writeOrecs, writeStripes)
+		t.PendingReadHit = false
+		if t.PendingCommits >= k {
+			cs.flushPending(t, &cs.sys.Stats.FlushReasonK)
+		} else {
+			cs.sys.Stats.CoalescedScans.Add(1)
+		}
+		cs.maybeAdapt()
+		return
+	}
 	var batch sem.Batch
 	cs.wakeWaiters(t, gen, writeOrecs, writeStripes, &batch)
 	cs.origWake(writeOrecs, &batch)

@@ -1,0 +1,110 @@
+package harness
+
+// Differential coalesce testing: cross-commit wakeup coalescing
+// (Knobs.CoalesceCommits) trades wakeup latency for fewer scans but must
+// never change an observable outcome — every deferred scan flushes at a
+// bound (K commits, block, abort, read-back, worker teardown), so no
+// wakeup is ever lost. Running the generated suite at K ∈ {0, 2, 8}
+// (0 IS the scan-every-commit baseline), alone and combined with forced
+// online stripe resizes, pins that claim against the sequential oracle.
+
+import (
+	"testing"
+)
+
+var coalesceBounds = []int{0, 2, 8}
+
+func TestGeneratedSuiteIdenticalAcrossCoalesceBounds(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4, 5}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		s := Generate(seed, GenConfig{})
+		for _, k := range coalesceBounds {
+			for _, r := range RunScenarioKnobs(s, Engines, "", Knobs{CoalesceCommits: k}) {
+				if !r.Pass {
+					t.Errorf("coalesce=%d: %s", k, r.String())
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratedSuiteIdenticalCoalescingUnderForcedResizes crosses the two
+// deferred-state machines: a pending scan buffer whose stripe set was
+// named under a generation the forced schedule keeps abandoning must
+// re-derive its coverage and still wake exactly the right waiters.
+func TestGeneratedSuiteIdenticalCoalescingUnderForcedResizes(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		s := Generate(seed, GenConfig{})
+		for _, k := range []int{2, 8} {
+			knobs := Knobs{
+				Stripes:         1,
+				CoalesceCommits: k,
+				ResizeEvery:     5,
+				ResizeSchedule:  []int{4, 64, 16, 1},
+			}
+			for _, r := range RunScenarioKnobs(s, Engines, "", knobs) {
+				if !r.Pass {
+					t.Errorf("coalesce=%d under forced resizes: %s", k, r.String())
+				}
+			}
+		}
+	}
+}
+
+// TestRetryOrigIdenticalAcrossCoalesceBounds pins the Retry-Orig path in
+// isolation: its registry entries are claimed by the merged origWake of a
+// flush rather than per-commit scans.
+func TestRetryOrigIdenticalAcrossCoalesceBounds(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	stmEngines := []string{"eager", "lazy"} // Retry-Orig needs STM metadata
+	for _, seed := range seeds {
+		s := Generate(seed, GenConfig{})
+		for _, k := range coalesceBounds {
+			for _, r := range RunScenarioKnobs(s, stmEngines, "retry-orig", Knobs{CoalesceCommits: k}) {
+				if !r.Pass {
+					t.Errorf("coalesce=%d: %s", k, r.String())
+				}
+			}
+		}
+	}
+}
+
+// TestParsecScenarioIdenticalWithCoalescing covers the registered
+// workloads, whose workers flush at teardown via Thread.Detach — the
+// bound the randomized scenarios exercise through the world runner.
+func TestParsecScenarioIdenticalWithCoalescing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full parsec coalesce sweep is not short")
+	}
+	for _, s := range ParsecScenarios(4, 1) {
+		for _, r := range RunScenarioKnobs(s, Engines, "", Knobs{CoalesceCommits: 8}) {
+			if !r.Pass {
+				t.Errorf("coalesce=8: %s", r.String())
+			}
+		}
+	}
+}
+
+// TestInjectedFaultStillCaughtWithCoalescing keeps the checker honest:
+// coalescing must not mask real invariant violations either.
+func TestInjectedFaultStillCaughtWithCoalescing(t *testing.T) {
+	s := Generate(7, GenConfig{InjectFault: true})
+	for _, k := range []int{2, 8} {
+		res := RunScenarioKnobs(s, Engines, "", Knobs{CoalesceCommits: k})
+		var rep Report
+		rep.Add(res)
+		if rep.AllPassed() {
+			t.Errorf("coalesce=%d: injected violation went undetected", k)
+		}
+	}
+}

@@ -52,6 +52,13 @@ type Knobs struct {
 	// instead of the per-commit signal batch (a measurement baseline;
 	// observably inert).
 	Unbatched bool
+	// CoalesceCommits defers post-commit wake scans across up to this many
+	// adjacent commits of one thread, flushed at the bounds tm.Config
+	// documents (0 = scan every commit). A latency/throughput trade, not a
+	// semantic one: any value must yield identical observable outcomes,
+	// which tmcheck checks at {0, 2, 8} — alone and under forced resizes.
+	// Incompatible with Unbatched.
+	CoalesceCommits int
 	// MinStripes/MaxStripes enable the adaptive stripe controller when
 	// they differ (0 = pinned at Stripes); the controller resizes the
 	// table online within the bounds. AdaptWindow overrides the
@@ -78,6 +85,7 @@ func NewSystemKnobs(engine string, k Knobs) (*tm.System, error) {
 	cfg := tm.Config{
 		Stripes:          k.Stripes,
 		UnbatchedWakeups: k.Unbatched,
+		CoalesceCommits:  k.CoalesceCommits,
 		MinStripes:       k.MinStripes,
 		MaxStripes:       k.MaxStripes,
 		AdaptWindow:      k.AdaptWindow,

@@ -228,6 +228,10 @@ func runSpec(sp *spec, sys *tm.System, m mech.Mechanism) (Observation, error) {
 		go func(t int) {
 			thr := sys.NewThread()
 			w.runThread(thr, sp.programs[t], &logs[t])
+			// Teardown flush bound: with wakeup coalescing enabled a
+			// finishing worker must not strand deferred wake scans that
+			// still-blocked peers are waiting on.
+			thr.Detach()
 			done <- t
 		}(t)
 	}

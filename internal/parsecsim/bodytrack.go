@@ -23,6 +23,7 @@ func runBodytrack(k *Kit, threads, scale int) uint64 {
 		go func() {
 			defer wg.Done()
 			thr := k.NewThread()
+			defer thr.Detach()
 			var sense uint64
 			var local uint64
 			for f := 0; f < frames; f++ {
@@ -56,6 +57,7 @@ func runBodytrack(k *Kit, threads, scale int) uint64 {
 		done.WaitAtLeast(main, uint64((f+1)*tasksPerFrame))
 		frameGate.Set(main, uint64(f+1))
 	}
+	main.Detach()
 	wg.Wait()
 	return cs.value()
 }

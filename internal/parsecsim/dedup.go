@@ -35,6 +35,7 @@ func runDedup(k *Kit, threads, scale int) uint64 {
 		go func() {
 			defer wg.Done()
 			thr := k.NewThread()
+			defer thr.Detach()
 			for {
 				v := q1.Get(thr) // syncpoint(dedup): chunk dequeue
 				if v == poison {
@@ -50,6 +51,7 @@ func runDedup(k *Kit, threads, scale int) uint64 {
 	go func() {
 		defer wg.Done()
 		thr := k.NewThread()
+		defer thr.Detach()
 		var local uint64
 		for n := 0; n < chunks; n++ {
 			v := q2.Get(thr) // syncpoint(dedup): compressed-chunk dequeue
@@ -82,6 +84,7 @@ func runDedup(k *Kit, threads, scale int) uint64 {
 	for wkr := 0; wkr < compressors; wkr++ {
 		q1.Put(main, poison)
 	}
+	main.Detach()
 	wg.Wait()
 	return cs.value()
 }

@@ -22,6 +22,7 @@ func runFacesim(k *Kit, threads, scale int) uint64 {
 		go func(id int) {
 			defer wg.Done()
 			thr := k.NewThread()
+			defer thr.Detach()
 			var local uint64
 			for it := 0; it < iters; it++ {
 				// syncpoint(facesim): phase-0 start gate
@@ -56,6 +57,7 @@ func runFacesim(k *Kit, threads, scale int) uint64 {
 	}
 	// syncpoint(facesim): final join
 	joined.WaitAtLeast(main, uint64(threads))
+	main.Detach()
 	wg.Wait()
 	return cs.value()
 }

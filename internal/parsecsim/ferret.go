@@ -20,6 +20,7 @@ func runFerret(k *Kit, threads, scale int) uint64 {
 		go func() {
 			defer wg.Done()
 			thr := k.NewThread()
+			defer thr.Detach()
 			for {
 				v := q1.Get(thr) // syncpoint(ferret): query dequeue
 				if v == poison {
@@ -35,6 +36,7 @@ func runFerret(k *Kit, threads, scale int) uint64 {
 	go func() {
 		defer wg.Done()
 		thr := k.NewThread()
+		defer thr.Detach()
 		var local uint64
 		for n := 0; n < queries; n++ {
 			v := q2.Get(thr) // syncpoint(ferret): result dequeue
@@ -51,6 +53,7 @@ func runFerret(k *Kit, threads, scale int) uint64 {
 	for w := 0; w < threads; w++ {
 		q1.Put(main, poison)
 	}
+	main.Detach()
 	wg.Wait()
 	return cs.value()
 }

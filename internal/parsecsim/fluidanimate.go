@@ -19,6 +19,7 @@ func runFluidanimate(k *Kit, threads, scale int) uint64 {
 		go func(id int) {
 			defer wg.Done()
 			thr := k.NewThread()
+			defer thr.Detach()
 			var sense uint64
 			var local uint64
 			for st := 0; st < steps; st++ {

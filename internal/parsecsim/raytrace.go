@@ -20,6 +20,7 @@ func runRaytrace(k *Kit, threads, scale int) uint64 {
 		go func() {
 			defer wg.Done()
 			thr := k.NewThread()
+			defer thr.Detach()
 			// syncpoint(raytrace): wait for the scene to be built
 			sceneReady.WaitAtLeast(thr, 1)
 			var local uint64
@@ -47,6 +48,7 @@ func runRaytrace(k *Kit, threads, scale int) uint64 {
 	}
 	// syncpoint(raytrace): wait for all tiles to be traced
 	finished.WaitAtLeast(main, uint64(tiles))
+	main.Detach()
 	wg.Wait()
 	return cs.value()
 }

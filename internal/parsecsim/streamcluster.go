@@ -22,6 +22,7 @@ func runStreamcluster(k *Kit, threads, scale int) uint64 {
 		go func(id int) {
 			defer wg.Done()
 			thr := k.NewThread()
+			defer thr.Detach()
 			var sense uint64
 			var local uint64
 			for r := 0; r < rounds; r++ {

@@ -27,6 +27,7 @@ func runX264(k *Kit, threads, scale int) uint64 {
 		go func(id int) {
 			defer wg.Done()
 			thr := k.NewThread()
+			defer thr.Detach()
 			var local uint64
 			for f := id; f < frames; f += threads {
 				for r := 0; r < rows; r++ {

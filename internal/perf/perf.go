@@ -92,6 +92,23 @@ type Options struct {
 	// they are judged against.
 	AdaptiveOrigPasses int
 
+	// CoalesceThreads is the goroutine ladder of the cross-commit wakeup
+	// coalescing sweep; empty skips it (cmd/tmbench passes 8 by default).
+	// Each rung measures the tight-loop producer workload at every
+	// CoalesceKs value, plus the bounded buffer (Retry and Await) and the
+	// Retry-Orig token ring at {0, max K} as regression guards: those
+	// workloads block constantly, so their scans flush at the block bound
+	// and coalescing must neither help nor hurt them much.
+	CoalesceThreads []int
+	// CoalesceKs lists the Config.CoalesceCommits values the tight-loop
+	// cells measure (default {0, 2, 8}; 0 — scan every commit — is the
+	// baseline the verdict compares against and is always included).
+	CoalesceKs []int
+	// TightloopOps is the number of tight-loop producer commits per lane
+	// (default 2000, rounded up to a TightloopBatch multiple);
+	// TightloopBatch is the consumer's claim size (default 200).
+	TightloopOps, TightloopBatch int
+
 	// Progress, when set, receives one call per completed point.
 	Progress func(done, total int, p Point)
 }
@@ -139,6 +156,27 @@ func (o Options) withDefaults() Options {
 	if o.AdaptiveOrigPasses == 0 {
 		o.AdaptiveOrigPasses = o.OrigPasses
 	}
+	if len(o.CoalesceKs) == 0 {
+		o.CoalesceKs = []int{0, 2, 8}
+	}
+	hasZero := false
+	for _, k := range o.CoalesceKs {
+		if k == 0 {
+			hasZero = true
+		}
+	}
+	if !hasZero {
+		o.CoalesceKs = append([]int{0}, o.CoalesceKs...)
+	}
+	if o.TightloopOps == 0 {
+		o.TightloopOps = 2000
+	}
+	if o.TightloopBatch == 0 {
+		// A longer batch keeps consumers asleep through longer futile-scan
+		// runs — the regime coalescing targets — without changing the
+		// workload's total work.
+		o.TightloopBatch = 200
+	}
 	return o
 }
 
@@ -177,7 +215,10 @@ type Point struct {
 	// GenAborts counts commit-time aborts caused by a resize landing
 	// mid-transaction — the per-transaction cost of the epoch swap.
 	GenAborts uint64 `json:"gen_aborts,omitempty"`
-	Trial     int    `json:"trial"`
+	// Coalesce is the Config.CoalesceCommits value the point ran with
+	// (0 = scan after every commit, the baseline).
+	Coalesce int `json:"coalesce,omitempty"`
+	Trial    int `json:"trial"`
 
 	Seconds float64 `json:"seconds"`
 	// Ops counts application-level operations where the workload defines
@@ -213,6 +254,18 @@ type Point struct {
 	OrigShardChecks uint64 `json:"orig_shard_checks,omitempty"`
 	// OrigChecksPerCommit is OrigShardChecks per writer commit.
 	OrigChecksPerCommit float64 `json:"orig_checks_per_commit,omitempty"`
+	// CoalescedScans counts writer commits whose wake scan remained
+	// deferred past the commit itself (coalesce points only): the ratio
+	// to Commits is the fraction of scans coalescing removed.
+	CoalescedScans uint64 `json:"coalesced_scans,omitempty"`
+	// FlushK/FlushBlock/FlushAbort/FlushRead/FlushTeardown break pending-
+	// buffer flushes down by trigger, exposing the effective flush
+	// interval a cell actually ran at (coalesce points only).
+	FlushK        uint64 `json:"flush_k,omitempty"`
+	FlushBlock    uint64 `json:"flush_block,omitempty"`
+	FlushAbort    uint64 `json:"flush_abort,omitempty"`
+	FlushRead     uint64 `json:"flush_read,omitempty"`
+	FlushTeardown uint64 `json:"flush_teardown,omitempty"`
 	// Checksum is the workload checksum (PARSEC kernels), verified
 	// against the sequential reference before the point is recorded.
 	Checksum uint64 `json:"checksum,omitempty"`
@@ -283,6 +336,39 @@ type AdaptiveVerdict struct {
 	Converged bool `json:"converged"`
 }
 
+// CoalesceVerdict summarizes the cross-commit wakeup coalescing sweep at
+// 8 goroutines (the acceptance point): the tight-loop producer workload —
+// writers committing back-to-back with WaitPred consumers asleep on the
+// unindexed list, the structure coalescing exists for — must pay fewer
+// wake-scan checks per commit at the highest measured CoalesceCommits than
+// at 0, while the bounded buffer and the Retry-Orig token ring, whose
+// threads block constantly (so almost every scan flushes at the block
+// bound), must not regress beyond noise.
+type CoalesceVerdict struct {
+	Threads int `json:"threads"`
+	K       int `json:"k"` // highest CoalesceCommits measured
+
+	TightloopChecksPerCommitOff float64 `json:"tightloop_wake_checks_per_commit_off"`
+	TightloopChecksPerCommitOn  float64 `json:"tightloop_wake_checks_per_commit_on"`
+	TightloopThroughputOff      float64 `json:"tightloop_throughput_off"`
+	TightloopThroughputOn       float64 `json:"tightloop_throughput_on"`
+	TightloopImproved           bool    `json:"tightloop_improved"`
+
+	// The guard claims hold vacuously (rates zero, bool true) when the
+	// guard's cells were filtered out of the sweep by -workloads/-engines.
+	BufferChecksPerCommitOff float64 `json:"buffer_wake_checks_per_commit_off"`
+	BufferChecksPerCommitOn  float64 `json:"buffer_wake_checks_per_commit_on"`
+	BufferNoRegression       bool    `json:"buffer_no_regression"`
+
+	OrigChecksPerCommitOff float64 `json:"origring_checks_per_commit_off"`
+	OrigChecksPerCommitOn  float64 `json:"origring_checks_per_commit_on"`
+	OrigNoRegression       bool    `json:"origring_no_regression"`
+
+	// Improved is the headline claim: the tight-loop scans got cheaper and
+	// neither blocking workload regressed.
+	Improved bool `json:"improved"`
+}
+
 // Report is the machine-readable result of one sweep (BENCH_PR<N>.json).
 type Report struct {
 	Schema          string           `json:"schema"`
@@ -306,6 +392,22 @@ type Report struct {
 	OrigVerdict     *OrigVerdict     `json:"orig_verdict,omitempty"`
 	AdaptiveSweep   []Point          `json:"adaptive_sweep,omitempty"`
 	AdaptiveVerdict *AdaptiveVerdict `json:"adaptive_verdict,omitempty"`
+	CoalesceThreads []int            `json:"coalesce_threads,omitempty"`
+	CoalesceKs      []int            `json:"coalesce_ks,omitempty"`
+	CoalesceSweep   []Point          `json:"coalesce_sweep,omitempty"`
+	CoalesceVerdict *CoalesceVerdict `json:"coalesce_verdict,omitempty"`
+}
+
+// runTimed executes one cell's measured section and returns its elapsed
+// wall time in seconds. All cell timing goes through this single helper —
+// time.Now captures a monotonic clock reading and time.Since subtracts on
+// it, so a wall-clock step (NTP adjustment, suspend/resume) during a cell
+// cannot corrupt the rates a committed BENCH report carries. Before it
+// existed, four scaffolds hand-rolled their own start/elapsed pairs.
+func runTimed(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return time.Since(start).Seconds()
 }
 
 // mechRuns reports whether mechanism m runs on engine e.
@@ -364,6 +466,8 @@ func Run(o Options) (*Report, error) {
 		orig      bool
 		unbatched bool
 		adaptive  bool
+		coal      bool // belongs to the coalesce sweep
+		coalesce  int  // Config.CoalesceCommits for the cell
 		// reps repeats the cell (multiplied by Trials): the Retry-Orig
 		// ring's scan rate carries heavy scheduling noise per run, and
 		// pooled repetitions are what make a 10% comparison meaningful.
@@ -460,6 +564,48 @@ func Run(o Options) (*Report, error) {
 		}
 	}
 
+	// Cross-commit wakeup coalescing sweep: the tight-loop producer
+	// workload at every CoalesceCommits value, plus the blocking workloads
+	// (buffer under the waitset-indexed mechanisms, the Retry-Orig ring)
+	// at {0, max K} as regression guards. All cells run at the engines'
+	// default stripe geometry — coalescing composes with sharding; this
+	// sweep isolates the cross-commit axis.
+	coalesceMaxK := 0
+	for _, k := range o.CoalesceKs {
+		if k > coalesceMaxK {
+			coalesceMaxK = k
+		}
+	}
+	if len(o.CoalesceThreads) > 0 && coalesceMaxK > 0 {
+		rep.CoalesceThreads = o.CoalesceThreads
+		rep.CoalesceKs = o.CoalesceKs
+		for _, threads := range o.CoalesceThreads {
+			if threads < 2 {
+				continue // the tight loop needs producer/consumer pairs
+			}
+			for _, e := range o.Engines {
+				for _, k := range o.CoalesceKs {
+					cells = append(cells, cell{workload: "tightloop", engine: e, m: mech.WaitPred, threads: threads, coal: true, coalesce: k, reps: 4})
+				}
+			}
+			for _, k := range []int{0, coalesceMaxK} {
+				if hasWorkload(o.Workloads, sweepWorkload) {
+					for _, e := range o.Engines {
+						for _, m := range []mech.Mechanism{mech.Retry, mech.Await} {
+							cells = append(cells, cell{workload: sweepWorkload, engine: e, m: m, threads: threads, coal: true, coalesce: k, reps: 4})
+						}
+					}
+				}
+				for _, e := range o.Engines {
+					if e != "eager" && e != "lazy" {
+						continue
+					}
+					cells = append(cells, cell{workload: "origring", engine: e, m: mech.RetryOrig, threads: threads, orig: true, coal: true, coalesce: k, reps: 10})
+				}
+			}
+		}
+	}
+
 	highStripes := 0
 	for _, s := range o.SweepStripes {
 		if s > highStripes {
@@ -482,7 +628,7 @@ func Run(o Options) (*Report, error) {
 			reps = 1
 		}
 		for trial := 0; trial < reps*o.Trials; trial++ {
-			k := harness.Knobs{Stripes: c.stripes, Unbatched: c.unbatched}
+			k := harness.Knobs{Stripes: c.stripes, Unbatched: c.unbatched, CoalesceCommits: c.coalesce}
 			if c.adaptive {
 				// Start deliberately wrong (one stripe, the old global
 				// table) and let the controller roam up to the sweep's
@@ -509,7 +655,10 @@ func Run(o Options) (*Report, error) {
 				return nil, fmt.Errorf("perf: %s %s/%s t=%d: %w", c.workload, c.engine, c.m, c.threads, err)
 			}
 			p.Adaptive = c.adaptive
+			p.Coalesce = c.coalesce
 			switch {
+			case c.coal:
+				rep.CoalesceSweep = append(rep.CoalesceSweep, p)
 			case c.adaptive:
 				rep.AdaptiveSweep = append(rep.AdaptiveSweep, p)
 			case c.orig:
@@ -528,6 +677,7 @@ func Run(o Options) (*Report, error) {
 	rep.StripeVerdict = verdict(rep.StripeSweep, sweepWorkload, maxThreads, o.SweepStripes)
 	rep.OrigVerdict = origVerdict(rep.OrigSweep, o.SweepStripes)
 	rep.AdaptiveVerdict = adaptiveVerdict(rep, o, sweepWorkload, maxThreads, highStripes)
+	rep.CoalesceVerdict = coalesceVerdict(rep.CoalesceSweep, sweepWorkload, coalesceMaxK)
 	return rep, nil
 }
 
@@ -594,30 +744,31 @@ func runOrigRing(engine string, threads int, k harness.Knobs, passes, trial int,
 		tokens++
 	}
 	var wg sync.WaitGroup
-	start := time.Now()
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			thr := sys.NewThread()
-			next := (i + 1) % n
-			for pass := 0; pass < passes; pass++ {
-				thr.Atomic(func(tx *tm.Tx) {
-					v := tx.Read(slots[i])
-					for j := 1; j < window; j++ {
-						_ = tx.Read(slots[(i+j)%n])
-					}
-					if v == 0 {
-						core.RetryOrig(tx)
-					}
-					tx.Write(slots[i], v-1)
-					tx.Write(slots[next], tx.Read(slots[next])+1)
-				})
-			}
-		}(i)
-	}
-	wg.Wait()
-	secs := time.Since(start).Seconds()
+	secs := runTimed(func() {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				thr := sys.NewThread()
+				defer thr.Detach()
+				next := (i + 1) % n
+				for pass := 0; pass < passes; pass++ {
+					thr.Atomic(func(tx *tm.Tx) {
+						v := tx.Read(slots[i])
+						for j := 1; j < window; j++ {
+							_ = tx.Read(slots[(i+j)%n])
+						}
+						if v == 0 {
+							core.RetryOrig(tx)
+						}
+						tx.Write(slots[i], v-1)
+						tx.Write(slots[next], tx.Read(slots[next])+1)
+					})
+				}
+			}(i)
+		}
+		wg.Wait()
+	})
 	var left uint64
 	for _, s := range slots {
 		left += *s
@@ -848,6 +999,9 @@ func runCell(workload, engine string, m mech.Mechanism, threads int, k harness.K
 	if workload == "buffer" {
 		return runBuffer(engine, m, threads, k, trial, o)
 	}
+	if workload == "tightloop" {
+		return runTightloop(engine, threads, k, trial, o)
+	}
 	if strings.HasPrefix(workload, "parsec/") {
 		return runParsec(strings.TrimPrefix(workload, "parsec/"), engine, m, threads, k, trial, o)
 	}
@@ -882,6 +1036,12 @@ func fill(p *Point, sys *tm.System, secs float64) {
 	p.BatchedSignals = s.BatchedSignals.Load()
 	p.OrigShardChecks = s.OrigShardChecks.Load()
 	p.GenAborts = s.GenAborts.Load()
+	p.CoalescedScans = s.CoalescedScans.Load()
+	p.FlushK = s.FlushReasonK.Load()
+	p.FlushBlock = s.FlushReasonBlock.Load()
+	p.FlushAbort = s.FlushReasonAbort.Load()
+	p.FlushRead = s.FlushReasonRead.Load()
+	p.FlushTeardown = s.FlushReasonTeardown.Load()
 	if p.Resizes = s.StripeResizes.Load(); p.Resizes > 0 {
 		p.FinalStripes = sys.Table.NumStripes()
 	}
@@ -912,21 +1072,22 @@ func runBuffer(engine string, m mech.Mechanism, threads int, k harness.Knobs, tr
 			bufs[i] = buffer.NewLock(o.BufferCap)
 		}
 		var wg sync.WaitGroup
-		start := time.Now()
-		forBufferWorkers(threads, lanes, &wg, func(worker, lane int, produce, consume bool) {
-			b := bufs[lane]
-			for i := 0; i < ops; i++ {
-				if produce {
-					b.Put(o.Seed + uint64(worker)<<32 + uint64(i))
+		secs := runTimed(func() {
+			forBufferWorkers(threads, lanes, &wg, func(worker, lane int, produce, consume bool) {
+				b := bufs[lane]
+				for i := 0; i < ops; i++ {
+					if produce {
+						b.Put(o.Seed + uint64(worker)<<32 + uint64(i))
+					}
+					if consume {
+						b.Get()
+					}
 				}
-				if consume {
-					b.Get()
-				}
-			}
+			})
+			wg.Wait()
 		})
-		wg.Wait()
 		p.Ops = bufferOpsTotal(threads, lanes, ops)
-		fill(&p, nil, time.Since(start).Seconds())
+		fill(&p, nil, secs)
 		return p, nil
 	}
 
@@ -939,23 +1100,169 @@ func runBuffer(engine string, m mech.Mechanism, threads int, k harness.Knobs, tr
 		bufs[i] = buffer.NewTM(o.BufferCap)
 	}
 	var wg sync.WaitGroup
-	start := time.Now()
-	forBufferWorkers(threads, lanes, &wg, func(worker, lane int, produce, consume bool) {
-		thr := sys.NewThread()
-		b := bufs[lane]
-		for i := 0; i < ops; i++ {
-			if produce {
-				b.PutMech(thr, m, o.Seed+uint64(worker)<<32+uint64(i))
+	secs := runTimed(func() {
+		forBufferWorkers(threads, lanes, &wg, func(worker, lane int, produce, consume bool) {
+			thr := sys.NewThread()
+			defer thr.Detach()
+			b := bufs[lane]
+			for i := 0; i < ops; i++ {
+				if produce {
+					b.PutMech(thr, m, o.Seed+uint64(worker)<<32+uint64(i))
+				}
+				if consume {
+					b.GetMech(thr, m)
+				}
 			}
-			if consume {
-				b.GetMech(thr, m)
-			}
-		}
+		})
+		wg.Wait()
 	})
-	wg.Wait()
 	p.Ops = bufferOpsTotal(threads, lanes, ops)
-	fill(&p, sys, time.Since(start).Seconds())
+	fill(&p, sys, secs)
 	return p, nil
+}
+
+// runTightloop measures the tight-loop producer workload of the coalesce
+// sweep: per lane, a producer commits back-to-back increments of the
+// lane's counter — it never blocks, so nothing but the coalescing bounds
+// ever interrupts its commit stream — while a consumer sleeps in WaitPred
+// until a full batch has accumulated and then claims it. WaitPred waiters
+// live on the unindexed list that every writer commit scans, so at
+// CoalesceCommits = 0 each producer commit pays one wake check per
+// sleeping consumer; coalescing divides that by the flush interval. The
+// consumer's own commits exercise the block-bound flush. Self-check:
+// every produced unit is consumed (all counters end at zero).
+func runTightloop(engine string, threads int, k harness.Knobs, trial int, o Options) (Point, error) {
+	p := Point{Workload: "tightloop", Engine: engine, Mech: string(mech.WaitPred), Threads: threads, Stripes: k.Stripes, Trial: trial}
+	if threads < 2 {
+		return Point{}, fmt.Errorf("tightloop: need at least 2 threads (have %d)", threads)
+	}
+	sys, err := harness.NewSystemKnobs(engine, k)
+	if err != nil {
+		return Point{}, err
+	}
+	lanes := threads / 2
+	batch := uint64(o.TightloopBatch)
+	ops := uint64(o.TightloopOps)
+	if r := ops % batch; r != 0 {
+		ops += batch - r // consumers claim whole batches
+	}
+	counts := make([]uint64, lanes)
+	var wg sync.WaitGroup
+	secs := runTimed(func() {
+		for lane := 0; lane < lanes; lane++ {
+			wg.Add(2)
+			count := &counts[lane]
+			go func() { // producer: the tight loop
+				defer wg.Done()
+				thr := sys.NewThread()
+				defer thr.Detach()
+				for i := uint64(0); i < ops; i++ {
+					thr.Atomic(func(tx *tm.Tx) {
+						tx.Write(count, tx.Read(count)+1)
+					})
+				}
+			}()
+			go func() { // consumer: asleep most of the time
+				defer wg.Done()
+				thr := sys.NewThread()
+				defer thr.Detach()
+				full := func(tx *tm.Tx, _ []uint64) bool { return tx.Read(count) >= batch }
+				for consumed := uint64(0); consumed < ops; consumed += batch {
+					thr.Atomic(func(tx *tm.Tx) {
+						c := tx.Read(count)
+						if c < batch {
+							core.WaitPred(tx, full)
+						}
+						tx.Write(count, c-batch)
+					})
+				}
+			}()
+		}
+		wg.Wait()
+	})
+	for lane, c := range counts {
+		if c != 0 {
+			return Point{}, fmt.Errorf("tightloop: lane %d ends with %d unconsumed units (lost or duplicated wakeup)", lane, c)
+		}
+	}
+	p.Ops = 2 * ops * uint64(lanes)
+	fill(&p, sys, secs)
+	return p, nil
+}
+
+// coalesceVerdict aggregates the coalesce sweep at 8 goroutines (or the
+// sweep's rung), pooled across engines and mechanisms per workload: the
+// tight loop must get cheaper at the highest K, the blocking workloads
+// must stay within noise (10%) of their K=0 scan rates.
+func coalesceVerdict(sweep []Point, workload string, maxK int) *CoalesceVerdict {
+	if len(sweep) == 0 || maxK == 0 {
+		return nil
+	}
+	// Judge at the highest measured rung — the most contended one —
+	// matching the "highest K" convention of the knob axis.
+	threads := 0
+	for _, p := range sweep {
+		if p.Threads > threads {
+			threads = p.Threads
+		}
+	}
+	type agg struct {
+		checks, orig, commits uint64
+		thru                  float64
+		cells                 int
+	}
+	pool := func(workload string, k int) agg {
+		var a agg
+		for _, p := range sweep {
+			if p.Workload != workload || p.Threads != threads || p.Coalesce != k {
+				continue
+			}
+			a.checks += p.WakeChecks
+			a.orig += p.OrigShardChecks
+			a.commits += p.Commits
+			a.thru += p.Throughput
+			a.cells++
+		}
+		return a
+	}
+	rate := func(num, den uint64) float64 {
+		if den == 0 {
+			return 0
+		}
+		return float64(num) / float64(den)
+	}
+	v := &CoalesceVerdict{Threads: threads, K: maxK}
+
+	tOff, tOn := pool("tightloop", 0), pool("tightloop", maxK)
+	v.TightloopChecksPerCommitOff = rate(tOff.checks, tOff.commits)
+	v.TightloopChecksPerCommitOn = rate(tOn.checks, tOn.commits)
+	if tOff.cells > 0 {
+		v.TightloopThroughputOff = tOff.thru / float64(tOff.cells)
+	}
+	if tOn.cells > 0 {
+		v.TightloopThroughputOn = tOn.thru / float64(tOn.cells)
+	}
+	v.TightloopImproved = tOn.commits > 0 && tOff.commits > 0 &&
+		v.TightloopChecksPerCommitOn < v.TightloopChecksPerCommitOff
+
+	// A guard whose cells were filtered out of the sweep (-workloads
+	// without buffer, -engines without an STM engine) is not applicable,
+	// not a regression: it passes vacuously so a narrowed run's tightloop
+	// improvement is not reported as "no improvement".
+	bOff, bOn := pool(workload, 0), pool(workload, maxK)
+	v.BufferChecksPerCommitOff = rate(bOff.checks, bOff.commits)
+	v.BufferChecksPerCommitOn = rate(bOn.checks, bOn.commits)
+	v.BufferNoRegression = bOn.commits == 0 || bOff.commits == 0 ||
+		v.BufferChecksPerCommitOn <= 1.10*v.BufferChecksPerCommitOff
+
+	oOff, oOn := pool("origring", 0), pool("origring", maxK)
+	v.OrigChecksPerCommitOff = rate(oOff.orig, oOff.commits)
+	v.OrigChecksPerCommitOn = rate(oOn.orig, oOn.commits)
+	v.OrigNoRegression = oOn.commits == 0 || oOff.commits == 0 ||
+		v.OrigChecksPerCommitOn <= 1.10*v.OrigChecksPerCommitOff
+
+	v.Improved = v.TightloopImproved && v.BufferNoRegression && v.OrigNoRegression
+	return v
 }
 
 // forBufferWorkers launches the worker topology: lanes producer/consumer
@@ -1027,9 +1334,8 @@ func runParsec(name, engine string, m mech.Mechanism, threads int, knobs harness
 		k.Sys = sys
 	}
 	want := referenceFor(b, o.Scale)
-	start := time.Now()
-	cs := b.Run(k, threads, o.Scale)
-	secs := time.Since(start).Seconds()
+	var cs uint64
+	secs := runTimed(func() { cs = b.Run(k, threads, o.Scale) })
 	if cs != want {
 		return Point{}, fmt.Errorf("checksum %x deviates from sequential reference %x", cs, want)
 	}

@@ -201,6 +201,55 @@ func TestDiffReportsSharedCells(t *testing.T) {
 // one stripe every commit scans every sleeping waiter in every lane, with
 // 64 stripes it scans only its own lane's — so the inequality holds far
 // from the noise floor.
+// TestCoalesceSweepReducesTightloopScan pins the coalesce sweep's
+// machinery on a small configuration: the tight-loop producer workload
+// must pay measurably fewer wake checks per commit with the scans
+// coalesced, the workload's token-conservation self-check must hold, and
+// the verdict must carry both sides.
+func TestCoalesceSweepReducesTightloopScan(t *testing.T) {
+	ops := 1500
+	if testing.Short() {
+		ops = 400
+	}
+	rep, err := Run(Options{
+		Seed:            1,
+		Threads:         []int{1},
+		Engines:         []string{"eager", "lazy"},
+		Mechs:           []mech.Mechanism{mech.Retry},
+		Workloads:       []string{"buffer"},
+		BufferOps:       50,
+		CoalesceThreads: []int{2},
+		CoalesceKs:      []int{0, 8},
+		TightloopOps:    ops,
+		OrigPasses:      50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.CoalesceSweep) == 0 {
+		t.Fatal("coalesce sweep produced no points")
+	}
+	for _, p := range rep.CoalesceSweep {
+		if p.Workload == "tightloop" && p.Commits == 0 {
+			t.Errorf("tightloop %s coalesce=%d: no commits", p.Engine, p.Coalesce)
+		}
+		if p.Coalesce > 0 && p.Workload == "tightloop" && p.CoalescedScans == 0 {
+			t.Errorf("tightloop %s coalesce=%d: no scans were deferred", p.Engine, p.Coalesce)
+		}
+	}
+	v := rep.CoalesceVerdict
+	if v == nil {
+		t.Fatal("sweep produced no coalesce verdict")
+	}
+	if v.TightloopChecksPerCommitOff == 0 {
+		t.Fatalf("uncoalesced tightloop measured no wake checks at all: %+v", v)
+	}
+	if !v.TightloopImproved {
+		t.Errorf("tightloop wake checks per commit did not improve: %.4f off vs %.4f at K=%d",
+			v.TightloopChecksPerCommitOff, v.TightloopChecksPerCommitOn, v.K)
+	}
+}
+
 func TestStripeSweepReducesWakeScan(t *testing.T) {
 	ops := 2000
 	if testing.Short() {

@@ -204,8 +204,42 @@ func (tx *Tx) Rand() uint64 {
 	return x
 }
 
-// Read performs a transactional load through the system's engine.
-func (tx *Tx) Read(addr *uint64) uint64 { return tx.Sys.Engine.Read(tx, addr) }
+// Read performs a transactional load through the system's engine. When the
+// thread carries deferred post-commit wake scans (cross-commit wakeup
+// coalescing), a read that lands back in a pending stripe requests a
+// flush, honoured only if the attempt ends without a writer commit: a
+// thread POLLING data its unscanned commits changed (e.g. read-only loops
+// waiting for a consumer that is itself asleep behind the deferred scan)
+// must not spin forever, while a read-modify-write loop — which re-reads
+// its own pending stripes on every iteration by construction — keeps
+// accumulating under the K-commit bound.
+func (tx *Tx) Read(addr *uint64) uint64 {
+	v := tx.Sys.Engine.Read(tx, addr)
+	if (len(tx.Thr.PendingStripes) != 0 || tx.Thr.PendingFull) && !tx.Thr.PendingReadHit {
+		tx.noteReadHit(addr)
+	}
+	return v
+}
+
+// noteReadHit is the slow half of Read's pending-stripe check, kept out of
+// line so the common no-pending case stays a load and a compare. A stale
+// pending generation (the table resized under the buffer) or a full-scan
+// marker is treated as a hit: re-deriving membership here would cost more
+// than the flush it avoids.
+func (tx *Tx) noteReadHit(addr *uint64) {
+	t := tx.Thr
+	if t.PendingFull || t.PendingGen != tx.TableView.Gen {
+		t.PendingReadHit = true
+		return
+	}
+	s := tx.TableView.StripeOf(tx.Sys.Table.IndexOf(addr))
+	for _, x := range t.PendingStripes {
+		if x == s {
+			t.PendingReadHit = true
+			return
+		}
+	}
+}
 
 // Write performs a transactional store through the system's engine.
 func (tx *Tx) Write(addr *uint64, v uint64) { tx.Sys.Engine.Write(tx, addr, v) }
@@ -421,6 +455,30 @@ type abortSig struct{ reason AbortReason }
 
 type restartSig struct{}
 
+// FlushReason says why a thread's deferred post-commit wake scans are being
+// flushed (cross-commit wakeup coalescing, Config.CoalesceCommits). The
+// driver reports the structural triggers it can see; the condition-
+// synchronization layer adds its own (the commit bound, a read back into a
+// pending stripe) internally.
+type FlushReason uint8
+
+const (
+	// FlushAttemptEnd fires after an attempt that ended without a writer
+	// commit (a read-only commit). The hook flushes only if the attempt
+	// read a pending stripe — otherwise accumulation continues.
+	FlushAttemptEnd FlushReason = iota
+	// FlushAbort fires when an attempt aborted or restarted: the conflict
+	// may involve the very waiters the deferred scans would wake.
+	FlushAbort
+	// FlushBlock fires when the thread is about to sleep (a deschedule,
+	// Retry-Orig, or condition-variable wait): a thread must never block
+	// while holding wakeups other threads are waiting for.
+	FlushBlock
+	// FlushTeardown fires from Thread.Detach: the thread will run no more
+	// transactions, so nothing else would ever trip a flush bound.
+	FlushTeardown
+)
+
 // Stats aggregates runtime counters for a System.
 type Stats struct {
 	Commits          atomic.Uint64
@@ -470,6 +528,24 @@ type Stats struct {
 	// entries together) carried across stripe-geometry swaps by the
 	// registry migration.
 	MigratedWaiters atomic.Uint64
+
+	// CoalescedScans counts writer commits whose post-commit wake scan
+	// remained deferred in the committing thread's pending buffer past the
+	// commit itself (Config.CoalesceCommits > 0) — commits that flushed in
+	// their own postCommit are not counted, so the ratio of this to
+	// Commits is the fraction of scans coalescing actually removed. Each
+	// flush below replays the merged scan once for all of its commits.
+	CoalescedScans atomic.Uint64
+
+	// FlushReason* count pending-buffer flushes by trigger: the K-commit
+	// bound, the thread blocking (deschedule / Retry-Orig / condvar wait),
+	// an aborted or restarted attempt, a transaction reading back into a
+	// pending stripe, and thread teardown (Thread.Detach).
+	FlushReasonK        atomic.Uint64
+	FlushReasonBlock    atomic.Uint64
+	FlushReasonAbort    atomic.Uint64
+	FlushReasonRead     atomic.Uint64
+	FlushReasonTeardown atomic.Uint64
 }
 
 // Attempts returns the total number of finished transaction attempts
@@ -509,6 +585,12 @@ func (s *Stats) Snapshot() map[string]uint64 {
 		"stripe_resizes":    s.StripeResizes.Load(),
 		"gen_aborts":        s.GenAborts.Load(),
 		"migrated_waiters":  s.MigratedWaiters.Load(),
+		"coalesced_scans":   s.CoalescedScans.Load(),
+		"flush_k":           s.FlushReasonK.Load(),
+		"flush_block":       s.FlushReasonBlock.Load(),
+		"flush_abort":       s.FlushReasonAbort.Load(),
+		"flush_read":        s.FlushReasonRead.Load(),
+		"flush_teardown":    s.FlushReasonTeardown.Load(),
 	}
 }
 
@@ -585,6 +667,25 @@ type Config struct {
 	// that changes, so any setting must yield identical observable
 	// outcomes (the differential harness checks both).
 	UnbatchedWakeups bool
+	// CoalesceCommits enables cross-commit wakeup coalescing: a committing
+	// writer accumulates up to this many commits' write orecs and stripes
+	// in a per-thread pending buffer and runs one merged post-commit wake
+	// scan when a flush bound trips — the commit count reaching this value,
+	// the thread itself blocking (deschedule, Retry-Orig, condition-
+	// variable wait), an attempt aborting or restarting, a read-only
+	// attempt reading back into a pending stripe (a writer attempt's
+	// read-backs are governed by the commit bound), this many read-only
+	// attempts finishing with the buffer pending (the backstop for a
+	// thread that stops writing but keeps transacting on unrelated
+	// data), or Thread.Detach at teardown.
+	// Zero (the default) scans on every commit. Like the other wakeup
+	// knobs it must be observably inert, which the differential harness
+	// checks at several values; unlike them it bounds wakeup *latency* by
+	// the flush triggers, so a worker that stops running transactions must
+	// call Thread.Detach or its last scans would be delayed forever.
+	// Incompatible with UnbatchedWakeups (a deferred scan is exactly a
+	// batch carried across commits).
+	CoalesceCommits int
 }
 
 func (c Config) withDefaults() Config {
@@ -607,6 +708,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinStripes < 0 || c.MinStripes&(c.MinStripes-1) != 0 {
 		panic(fmt.Sprintf("tm: MinStripes %d is not a positive power of two", c.MinStripes))
+	}
+	if c.CoalesceCommits < 0 {
+		panic(fmt.Sprintf("tm: CoalesceCommits %d is negative", c.CoalesceCommits))
+	}
+	if c.CoalesceCommits > 0 && c.UnbatchedWakeups {
+		panic("tm: CoalesceCommits and UnbatchedWakeups are contradictory (a deferred scan is a batch carried across commits)")
 	}
 	if c.MinStripes == 0 {
 		c.MinStripes = c.Stripes
@@ -677,6 +784,15 @@ type System struct {
 	// read-only and must not retain them past its return: the driver
 	// recycles the backing arrays for the thread's next commit.
 	PostCommit func(t *Thread, gen uint64, writeOrecs, writeStripes []uint32)
+
+	// FlushWakeups, if set, drains the thread's pending deferred wake
+	// scans (cross-commit wakeup coalescing). The driver invokes it — on
+	// the owning thread, never concurrently — at every structural flush
+	// bound it can see: attempts that abort or restart, attempts that end
+	// without a writer commit, and before a Signal handler runs (the
+	// handler may block). Thread.FlushPending is the guarded entry point;
+	// the hook may run whole (read-only) transactions on the thread.
+	FlushWakeups func(t *Thread, why FlushReason)
 
 	// Ext points at the condition-synchronization layer (package core)
 	// when one is enabled; tm itself never inspects it.
@@ -769,6 +885,28 @@ type Thread struct {
 	// core); tm never touches it.
 	Waiter any
 
+	// Pending* is the thread's deferred wake-scan buffer (cross-commit
+	// wakeup coalescing, Config.CoalesceCommits): the merged write orecs
+	// and stripes of PendingCommits writer commits whose post-commit scans
+	// have not run yet. PendingStripes is named under generation
+	// PendingGen; PendingFull records that some accumulated commit logged
+	// no orecs (the HTM serial fallback), forcing the flush to scan every
+	// shard. PendingReadHit is set by Tx.Read when a transaction reads
+	// back into a pending stripe, requesting a flush at the attempt's end.
+	// The buffer is maintained by the condition-synchronization layer and
+	// only ever touched by the owning thread, so none of it is atomic.
+	// PendingIdle counts read-only attempts finished since the buffer
+	// started pending; the condition-synchronization layer flushes when it
+	// reaches the commit bound, so a thread that stops writing but keeps
+	// transacting cannot delay its deferred wakeups unboundedly.
+	PendingGen     uint64
+	PendingOrecs   []uint32
+	PendingStripes []uint32
+	PendingCommits int
+	PendingIdle    int
+	PendingFull    bool
+	PendingReadHit bool
+
 	// DeferredAllocs holds allocations whose undo was postponed by a
 	// deschedule (captured-memory rule of Algorithm 6).
 	DeferredAllocs [][]uint64
@@ -804,6 +942,30 @@ func (s *System) NewThread() *Thread {
 	s.threads = append(s.threads, t)
 	s.mu.Unlock()
 	return t
+}
+
+// FlushPending invokes the system's FlushWakeups hook if the thread holds
+// deferred wake scans; the common empty case is two loads. It must only be
+// called from the owning thread, outside any in-flight attempt (the hook
+// runs read-only transactions on this descriptor).
+func (t *Thread) FlushPending(why FlushReason) {
+	if t.PendingCommits != 0 && t.Sys.FlushWakeups != nil {
+		t.Sys.FlushWakeups(t, why)
+	}
+}
+
+// Detach flushes the thread's deferred wake scans at teardown. A worker
+// running with Config.CoalesceCommits > 0 must call it when it stops
+// executing transactions for good — no other flush bound would ever trip
+// again, and a waiter claimed by one of the thread's unscanned commits
+// would otherwise sleep forever. A no-op (and nil-safe, for the Pthreads
+// baseline's nil thread handles) in every other configuration; the thread
+// stays registered and may keep running transactions afterwards.
+func (t *Thread) Detach() {
+	if t == nil {
+		return
+	}
+	t.FlushPending(FlushTeardown)
 }
 
 // SigReset clears the hardware signature.
@@ -855,6 +1017,11 @@ func (t *Thread) Atomic(fn func(tx *Tx)) {
 			t.ActiveStart.Store(0)
 			tx.resetAfterAttempt(false)
 			t.recordAbort(res.reason)
+			// An abort is a flush bound for coalesced wake scans: the
+			// conflict this attempt lost may be against the very threads
+			// the deferred scans would wake. Runs after the reset, so the
+			// flush's predicate transactions see a clean descriptor.
+			t.FlushPending(FlushAbort)
 			t.backoff.Wait()
 		case attemptRestart:
 			t.Sys.Engine.Rollback(tx)
@@ -862,6 +1029,7 @@ func (t *Thread) Atomic(fn func(tx *Tx)) {
 			tx.Nesting = 0
 			t.ActiveStart.Store(0)
 			tx.resetAfterAttempt(false)
+			t.FlushPending(FlushAbort)
 			// Immediate re-execution; the Restart baseline relies on the
 			// lack of backoff growth here. A bare processor yield is still
 			// required: without it a respinning reader starves the writer
@@ -882,6 +1050,11 @@ func (t *Thread) Atomic(fn func(tx *Tx)) {
 			// written back by the inner commit. Handlers capture anything
 			// they need from the attempt when they raise the signal.
 			tx.resetAfterAttempt(false)
+			// Signal handlers typically put the thread to sleep; flush any
+			// coalesced wake scans first so this thread never blocks while
+			// holding wakeups other threads are waiting for. (The condvar
+			// handler flushes again after its own punctuation-commit scan.)
+			t.FlushPending(FlushBlock)
 			if res.sig.Handle(tx) == OutcomeRetry {
 				t.backoff.Wait()
 			}
@@ -979,6 +1152,12 @@ func (t *Thread) attempt(tx *Tx, fn func(tx *Tx)) (res attemptResult) {
 		t.inPostCommit = true
 		t.Sys.PostCommit(t, gen, writeOrecs, writeStripes)
 		t.inPostCommit = false
+	} else if !wrote && !t.inPostCommit {
+		// A read-only commit is a flush point for coalesced wake scans iff
+		// the attempt read a pending stripe (the hook checks); a thread
+		// polling data its own unscanned commits changed must not leave
+		// the waiters on that data deferred.
+		t.FlushPending(FlushAttemptEnd)
 	}
 	t.postOrecs, t.postStripes = writeOrecs[:0], writeStripes[:0]
 	return attemptResult{kind: attemptCommitted}

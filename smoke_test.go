@@ -129,8 +129,11 @@ func TestSmokeCommands(t *testing.T) {
 		{"tmcheck", []string{"-n", "2", "-seed", "1", "-stripes", "4", "-mech", "retry-orig", "-engine", "eager"}, "OK: every engine x mechanism pair matched"},
 		{"tmcheck", []string{"-n", "2", "-seed", "1", "-unbatched"}, "OK: every engine x mechanism pair matched"},
 		{"tmcheck", []string{"-n", "2", "-seed", "1", "-adaptive", "-resize-every", "5"}, "OK: every engine x mechanism pair matched"},
+		{"tmcheck", []string{"-n", "2", "-seed", "1", "-coalesce", "2"}, "OK: every engine x mechanism pair matched"},
+		{"tmcheck", []string{"-n", "2", "-seed", "1", "-coalesce", "8", "-adaptive"}, "OK: every engine x mechanism pair matched"},
 		{"tmbench", []string{"-quick", "-threads", "1,2", "-workloads", "buffer,parsec/x264", "-out", benchOut}, "retry-orig sweep"},
 		{"tmbench", []string{"-quick", "-threads", "1,2", "-workloads", "buffer", "-mechs", "retry,await", "-orig-threads", "2", "-adaptive-threads", "2", "-no-baseline", "-out", benchOut}, "adaptive sweep"},
+		{"tmbench", []string{"-quick", "-threads", "1", "-workloads", "buffer", "-mechs", "retry", "-orig-threads", "2", "-adaptive-threads", "", "-coalesce-threads", "2", "-no-baseline", "-out", benchOut}, "coalesce sweep"},
 		{"tmcheck", []string{"-n", "1", "-seed", "2", "-inject"}, "OK: all injected violations caught"},
 		{"tmstress", []string{"-engine", "hybrid", "-mech", "retry", "-threads", "4", "-seconds", "0.3", "-cap", "2"}, "OK"},
 		{"boundedbuffer", []string{"-quick", "-engine", "eager", "-ops", "2048", "-trials", "1"}, "bounded buffer performance"},
@@ -143,6 +146,30 @@ func TestSmokeCommands(t *testing.T) {
 			out := runSmoke(t, c.name, c.args...)
 			if !strings.Contains(out, c.want) {
 				t.Errorf("%s output lacks %q:\n%s", c.name, c.want, out)
+			}
+		})
+	}
+}
+
+// TestSmokeTmcheckRejectsContradictoryFlags pins the CLI's mode-flag
+// validation: contradictory combinations must exit 2 with a diagnostic,
+// not silently run only one of the requested modes.
+func TestSmokeTmcheckRejectsContradictoryFlags(t *testing.T) {
+	bin := filepath.Join(smokeBinaries(t), "tmcheck")
+	for _, args := range [][]string{
+		{"-n", "1", "-stripes", "4", "-adaptive"},
+		{"-n", "1", "-unbatched", "-coalesce", "2"},
+		{"-n", "1", "-resize-every", "5"},
+		{"-n", "1", "-coalesce", "-3"},
+	} {
+		t.Run(strings.Join(args, "_"), func(t *testing.T) {
+			out, err := exec.Command(bin, args...).CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ExitCode() != 2 {
+				t.Fatalf("tmcheck %v: want exit status 2, got err=%v\n%s", args, err, out)
+			}
+			if !strings.Contains(string(out), "tmcheck:") {
+				t.Errorf("tmcheck %v: no diagnostic printed:\n%s", args, out)
 			}
 		})
 	}
