@@ -209,6 +209,47 @@ func TestCoalesceFlushesOnRestart(t *testing.T) {
 	})
 }
 
+// TestCoalesceAgeBoundRescuesStrandedIdleWriter is the stranding
+// reproducer for the PR 5 liveness bug: every flush bound was
+// attempt-triggered, so a writer that accumulates K-1 pending commits and
+// then goes fully idle — no detach, no further attempts — stranded its
+// deferred wakeups indefinitely, leaving the waiter asleep. With
+// CoalesceMaxDelay set, the age backstop must drain the idle thread's
+// buffer and wake the waiter within the bound (plus scheduling slack)
+// even though the owner never runs again.
+func TestCoalesceAgeBoundRescuesStrandedIdleWriter(t *testing.T) {
+	const bound = 100 * time.Millisecond
+	cfg := tm.Config{CoalesceCommits: 8, CoalesceMaxDelay: bound}
+	forEachCoalesce(t, allEngines, cfg, func(t *testing.T, sys *tm.System, cs *core.CondSync) {
+		var flag, other uint64
+		done := park(sys, cs, &flag)
+		waitCond(t, "waiter asleep", func() bool { return cs.WaitingLen() == 1 })
+
+		// K-1 = 7 commits: the wake-enabling write plus six unrelated
+		// ones, none reaching the K bound. Then the writer goes idle
+		// without detaching — the exact shape the age bound exists for.
+		writer := sys.NewThread()
+		writer.Atomic(func(tx *tm.Tx) { tx.Write(&flag, 1) })
+		for i := uint64(2); i <= 7; i++ {
+			writer.Atomic(func(tx *tm.Tx) { tx.Write(&other, i) })
+		}
+		start := time.Now()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("waiter stranded: the idle writer's pending wakeups were never flushed")
+		}
+		// The bound is on flush initiation; allow generous scheduling
+		// slack on top for loaded CI runners.
+		if elapsed := time.Since(start); elapsed > bound+2*time.Second {
+			t.Errorf("waiter woke after %v, want within the %v age bound (plus slack)", elapsed, bound)
+		}
+		if got := sys.Stats.FlushReasonAge.Load(); got != 1 {
+			t.Errorf("flush_age = %d, want 1", got)
+		}
+	})
+}
+
 // TestCoalesceFlushesOnDetach: teardown is the bound of last resort — a
 // worker that stops running transactions flushes via Thread.Detach.
 func TestCoalesceFlushesOnDetach(t *testing.T) {

@@ -59,6 +59,13 @@ type Knobs struct {
 	// which tmcheck checks at {0, 2, 8} — alone and under forced resizes.
 	// Incompatible with Unbatched.
 	CoalesceCommits int
+	// CoalesceMaxDelay bounds how long a coalesced pending buffer may age
+	// before it is flushed regardless of the attempt-triggered bounds —
+	// including by the backstop that drains buffers whose owner has gone
+	// idle (tm.Config.CoalesceMaxDelay). Another latency knob that must be
+	// observably inert, which tmcheck -max-delay checks; requires
+	// CoalesceCommits > 0.
+	CoalesceMaxDelay time.Duration
 	// MinStripes/MaxStripes enable the adaptive stripe controller when
 	// they differ (0 = pinned at Stripes); the controller resizes the
 	// table online within the bounds. AdaptWindow overrides the
@@ -86,6 +93,7 @@ func NewSystemKnobs(engine string, k Knobs) (*tm.System, error) {
 		Stripes:          k.Stripes,
 		UnbatchedWakeups: k.Unbatched,
 		CoalesceCommits:  k.CoalesceCommits,
+		CoalesceMaxDelay: k.CoalesceMaxDelay,
 		MinStripes:       k.MinStripes,
 		MaxStripes:       k.MaxStripes,
 		AdaptWindow:      k.AdaptWindow,

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tmsync/internal/clock"
 	"tmsync/internal/locktable"
@@ -540,11 +541,14 @@ type Stats struct {
 	// FlushReason* count pending-buffer flushes by trigger: the K-commit
 	// bound, the thread blocking (deschedule / Retry-Orig / condvar wait),
 	// an aborted or restarted attempt, a transaction reading back into a
-	// pending stripe, and thread teardown (Thread.Detach).
+	// pending stripe, the buffer outliving Config.CoalesceMaxDelay
+	// (whether caught at an attempt boundary or drained by the idle-owner
+	// backstop), and thread teardown (Thread.Detach).
 	FlushReasonK        atomic.Uint64
 	FlushReasonBlock    atomic.Uint64
 	FlushReasonAbort    atomic.Uint64
 	FlushReasonRead     atomic.Uint64
+	FlushReasonAge      atomic.Uint64
 	FlushReasonTeardown atomic.Uint64
 }
 
@@ -590,6 +594,7 @@ func (s *Stats) Snapshot() map[string]uint64 {
 		"flush_block":       s.FlushReasonBlock.Load(),
 		"flush_abort":       s.FlushReasonAbort.Load(),
 		"flush_read":        s.FlushReasonRead.Load(),
+		"flush_age":         s.FlushReasonAge.Load(),
 		"flush_teardown":    s.FlushReasonTeardown.Load(),
 	}
 }
@@ -686,6 +691,18 @@ type Config struct {
 	// Incompatible with UnbatchedWakeups (a deferred scan is exactly a
 	// batch carried across commits).
 	CoalesceCommits int
+	// CoalesceMaxDelay bounds how long a pending buffer may age before it
+	// is flushed regardless of the structural bounds above: the buffer
+	// records the monotonic time of its first accumulation
+	// (Thread.PendingSince), every attempt boundary compares it against
+	// this bound, and a backstop drains buffers whose owner has gone fully
+	// idle — stopped transacting without calling Thread.Detach — so no
+	// waiter ever sleeps past this delay behind an idle notifier. Zero
+	// (the default) disables the age bound and restores the PR 5
+	// attempt-triggered-only behaviour. Meaningless without
+	// CoalesceCommits (there is no pending buffer to age-bound), which
+	// NewSystem rejects.
+	CoalesceMaxDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -714,6 +731,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CoalesceCommits > 0 && c.UnbatchedWakeups {
 		panic("tm: CoalesceCommits and UnbatchedWakeups are contradictory (a deferred scan is a batch carried across commits)")
+	}
+	if c.CoalesceMaxDelay < 0 {
+		panic(fmt.Sprintf("tm: CoalesceMaxDelay %v is negative", c.CoalesceMaxDelay))
+	}
+	if c.CoalesceMaxDelay > 0 && c.CoalesceCommits == 0 {
+		panic("tm: CoalesceMaxDelay without CoalesceCommits is meaningless (there is no pending buffer to age-bound)")
 	}
 	if c.MinStripes == 0 {
 		c.MinStripes = c.Stripes
