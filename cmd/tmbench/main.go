@@ -12,15 +12,20 @@
 // wrong one-stripe start, judged against the best static configuration),
 // runs the cross-commit coalescing sweep (the tight-loop producer workload
 // at CoalesceCommits 0/2/8 plus buffer and Retry-Orig regression guards),
-// and writes one machine-readable JSON report (schema tmsync-bench/1; see
+// runs the wake-latency sweep (the tightloop/idle workload, whose
+// producers go idle on a plain channel with wake scans still pending so
+// only the CoalesceMaxDelay age backstop can wake the sleeping consumers;
+// p99 sleep-to-signal latency must land within the bound plus slack), and
+// writes one machine-readable JSON report (schema tmsync-bench/1; see
 // README "Benchmark pipeline").
 //
 // Usage:
 //
-//	go run ./cmd/tmbench -seed 1 -threads 1,2,4,8          # full sweep -> BENCH_PR5.json
+//	go run ./cmd/tmbench -seed 1 -threads 1,2,4,8          # full sweep -> BENCH_PR6.json
 //	go run ./cmd/tmbench -quick -out /tmp/bench.json       # reduced ops (CI, smoke)
 //	go run ./cmd/tmbench -workloads buffer -mechs retry    # narrow the axes
-//	go run ./cmd/tmbench -diff BENCH_PR4.json              # trajectory diff vs a prior report
+//	go run ./cmd/tmbench -diff BENCH_PR5.json              # trajectory diff vs a prior report
+//	go run ./cmd/tmbench -max-delay 10ms                   # tighter wake-latency bound
 //
 // The trajectory diff defaults to the previous PR's committed report and
 // is skipped with a note when that file is absent; an explicitly named
@@ -39,6 +44,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"tmsync/internal/mech"
 	"tmsync/internal/perf"
@@ -62,10 +68,13 @@ func main() {
 	coalesceThreadsFlag := flag.String("coalesce-threads", "8", "goroutine counts for the cross-commit wakeup coalescing sweep (empty = skip)")
 	coalesceKsFlag := flag.String("coalesce-ks", "", "CoalesceCommits values for the tight-loop cells (default 0,2,8; 0 is always included)")
 	tightloopOps := flag.Int("tightloop-ops", 0, "tight-loop producer commits per lane in the coalesce sweep (0 = default)")
+	latencyThreadsFlag := flag.String("latency-threads", "8", "goroutine counts for the wake-latency sweep (empty = skip)")
+	maxDelay := flag.Duration("max-delay", 0, "CoalesceMaxDelay for the wake-latency cells (0 = default 25ms)")
+	latencyRounds := flag.Int("latency-rounds", 0, "burst/claim hand-offs per lane in the wake-latency cells (0 = default)")
 	noBaseline := flag.Bool("no-baseline", false, "skip the Pthreads lock+condvar baseline rows")
 	quick := flag.Bool("quick", false, "reduced operation counts (CI and smoke tests)")
-	out := flag.String("out", "BENCH_PR5.json", "output path for the JSON report")
-	diff := flag.String("diff", "BENCH_PR4.json", "prior report to diff wake-checks/commit and signals/commit against (\"\" = skip); a missing file is fatal only when -diff was given explicitly")
+	out := flag.String("out", "BENCH_PR6.json", "output path for the JSON report")
+	diff := flag.String("diff", "BENCH_PR5.json", "prior report to diff wake-checks/commit and signals/commit against (\"\" = skip); a missing file is fatal only when -diff was given explicitly")
 	verbose := flag.Bool("v", false, "per-point progress lines")
 	flag.Parse()
 	diffExplicit := false
@@ -90,6 +99,9 @@ func main() {
 		CoalesceThreads:    parseInts(*coalesceThreadsFlag, "coalesce-threads"),
 		CoalesceKs:         parseIntsMin(*coalesceKsFlag, "coalesce-ks", 0),
 		TightloopOps:       *tightloopOps,
+		LatencyThreads:     parseInts(*latencyThreadsFlag, "latency-threads"),
+		LatencyMaxDelay:    *maxDelay,
+		LatencyRounds:      *latencyRounds,
 		Baseline:           !*noBaseline,
 	}
 	if *enginesFlag != "" {
@@ -118,6 +130,9 @@ func main() {
 		}
 		if o.TightloopOps == 0 {
 			o.TightloopOps = 200
+		}
+		if o.LatencyRounds == 0 {
+			o.LatencyRounds = 4
 		}
 	}
 
@@ -151,6 +166,28 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The latency verdict's throughput guard needs the prior report:
+	// bounding wake latency must not cost the tight loop the throughput
+	// the previous PR's coalesce sweep measured. Vacuously true when
+	// either side lacks the number (no prior report, or a narrowed run
+	// that skipped the coalesce sweep).
+	if lv := rep.LatencyVerdict; lv != nil {
+		if cv := rep.CoalesceVerdict; cv != nil {
+			lv.TightloopThroughput = cv.TightloopThroughputOn
+			// Only a prior verdict at the same rung and K is comparable:
+			// a -quick run at 2 goroutines against the committed 8-goroutine
+			// report would fail on the axes, not the change under test.
+			if prior != nil && prior.CoalesceVerdict != nil &&
+				prior.CoalesceVerdict.Threads == cv.Threads && prior.CoalesceVerdict.K == cv.K {
+				lv.TightloopThroughputPrior = prior.CoalesceVerdict.TightloopThroughputOn
+			}
+		}
+		if lv.TightloopThroughputPrior > 0 && lv.TightloopThroughput > 0 {
+			lv.ThroughputWithin10Pct = lv.TightloopThroughput >= 0.90*lv.TightloopThroughputPrior
+		}
+		lv.Holds = lv.WithinBound && lv.ThroughputWithin10Pct
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tmbench:", err)
@@ -162,8 +199,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("benchmark report: %d points + %d stripe-sweep points + %d orig-sweep points + %d adaptive points + %d coalesce points -> %s\n",
-		len(rep.Points), len(rep.StripeSweep), len(rep.OrigSweep), len(rep.AdaptiveSweep), len(rep.CoalesceSweep), *out)
+	fmt.Printf("benchmark report: %d points + %d stripe-sweep points + %d orig-sweep points + %d adaptive points + %d coalesce points + %d latency points -> %s\n",
+		len(rep.Points), len(rep.StripeSweep), len(rep.OrigSweep), len(rep.AdaptiveSweep), len(rep.CoalesceSweep), len(rep.LatencySweep), *out)
 	if v := rep.StripeVerdict; v != nil {
 		fmt.Printf("stripe sweep (%s, %d goroutines): wakeup checks per commit %.2f @ %d stripe(s) vs %.2f @ %d stripes\n",
 			v.Workload, v.Threads, v.WakeupsPerCommitLow, v.LowStripes, v.WakeupsPerCommitHigh, v.HighStripes)
@@ -210,6 +247,19 @@ func main() {
 			fmt.Println("coalesce verdict: IMPROVED (tight-loop scans coalesced; blocking workloads unharmed)")
 		} else {
 			fmt.Println("coalesce verdict: no improvement measured on this run")
+		}
+	}
+	if v := rep.LatencyVerdict; v != nil {
+		fmt.Printf("latency sweep (%s, %d goroutines, K=%d, max delay %v + %v slack):\n",
+			v.Workload, v.Threads, v.K, time.Duration(v.MaxDelayNs), time.Duration(v.SlackNs))
+		fmt.Printf("  sleep-to-signal latency over %d sleeps (worst cell): p50 %v, p99 %v, max %v (within bound: %v)\n",
+			v.Sleeps, time.Duration(v.P50Ns), time.Duration(v.P99Ns), time.Duration(v.MaxNs), v.WithinBound)
+		fmt.Printf("  tightloop throughput %.0f vs prior %.0f ops/s (within 10%%: %v)\n",
+			v.TightloopThroughput, v.TightloopThroughputPrior, v.ThroughputWithin10Pct)
+		if v.Holds {
+			fmt.Println("latency verdict: HOLDS (no waiter sleeps past the age bound while its notifier idles)")
+		} else {
+			fmt.Println("latency verdict: did not hold on this run")
 		}
 	}
 	if prior != nil {

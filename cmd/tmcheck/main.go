@@ -15,13 +15,16 @@
 //	go run ./cmd/tmcheck -n 5 -inject           # prove the checker detects faults
 //	go run ./cmd/tmcheck -n 15 -adaptive        # forced online stripe resizes (1->4->64->16)
 //	go run ./cmd/tmcheck -n 15 -coalesce 8      # cross-commit wakeup coalescing (flush every 8)
+//	go run ./cmd/tmcheck -n 15 -coalesce 8 -max-delay 2ms  # with the age-bound flush armed
 //
 // Mode flags are validated for coherence before anything runs: -stripes
 // pins a static count and therefore contradicts -adaptive's forced resize
-// schedule, -resize-every modifies only -adaptive, and -unbatched
+// schedule, -resize-every modifies only -adaptive, -unbatched
 // (signal-at-claim delivery) contradicts -coalesce (a deferred scan IS a
-// batch carried across commits). Nonsensical combinations exit 2 instead
-// of silently running just one of the modes.
+// batch carried across commits), and -max-delay ages the pending buffer
+// -coalesce maintains, so it requires -coalesce and a positive duration.
+// Nonsensical combinations exit 2 instead of silently running just one of
+// the modes.
 //
 // Exit status is 0 iff every execution matched its oracle (inverted under
 // -inject: the run fails if any injected fault goes undetected).
@@ -51,6 +54,7 @@ func main() {
 	resizeEvery := flag.Int("resize-every", 10, "writer commits between forced resizes (with -adaptive)")
 	unbatched := flag.Bool("unbatched", false, "signal-at-claim wakeup delivery instead of the per-commit batch; must yield identical outcomes")
 	coalesce := flag.Int("coalesce", 0, "cross-commit wakeup coalescing: defer post-commit wake scans across up to this many adjacent commits per thread (0 = scan every commit); must yield identical outcomes")
+	maxDelay := flag.Duration("max-delay", 0, "age bound on the coalesced pending buffer (with -coalesce): flush deferred wake scans older than this, including by the idle-owner backstop; must yield identical outcomes")
 	only := flag.String("mech", "", "restrict to one mechanism (default: all applicable)")
 	parsec := flag.Bool("parsec", false, "check the eight PARSEC skeletons instead of random scenarios")
 	scale := flag.Int("scale", 1, "PARSEC workload scale (with -parsec)")
@@ -63,10 +67,13 @@ func main() {
 	// cross), others contradict each other outright. The contradictions
 	// used to be accepted silently, with one flag winning arbitrarily — a
 	// green run that never tested what the invocation claimed.
-	resizeEveryExplicit := false
+	resizeEveryExplicit, maxDelayExplicit := false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "resize-every" {
+		switch f.Name {
+		case "resize-every":
 			resizeEveryExplicit = true
+		case "max-delay":
+			maxDelayExplicit = true
 		}
 	})
 	fail := func(format string, args ...any) {
@@ -87,6 +94,12 @@ func main() {
 	}
 	if *unbatched && *coalesce > 0 {
 		fail("-unbatched (signal-at-claim delivery) contradicts -coalesce (a deferred scan is a batch carried across commits); pick one")
+	}
+	if maxDelayExplicit && *maxDelay <= 0 {
+		fail("-max-delay %v must be a positive duration", *maxDelay)
+	}
+	if maxDelayExplicit && *coalesce == 0 {
+		fail("-max-delay ages the pending buffer -coalesce maintains and does nothing alone; add -coalesce or drop it")
 	}
 	if *parsec && *inject {
 		// Fault injection rewrites generated programs; the PARSEC
@@ -109,7 +122,7 @@ func main() {
 		engines = []string{*engine}
 	}
 
-	knobs := harness.Knobs{Stripes: *stripes, Unbatched: *unbatched, CoalesceCommits: *coalesce}
+	knobs := harness.Knobs{Stripes: *stripes, Unbatched: *unbatched, CoalesceCommits: *coalesce, CoalesceMaxDelay: *maxDelay}
 	if *adaptive {
 		// The forced schedule drives the stripe count through growth,
 		// large jumps, and shrinkage (1 -> 4 -> 64 -> 16, cycling) while

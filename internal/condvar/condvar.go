@@ -172,7 +172,7 @@ func (s waitSignal) Handle(tx *tm.Tx) tm.Outcome {
 	// that was before the punctuation commit was accounted; without this
 	// flush a deferred scan (and the wakeups it owes) would sleep with us.
 	tx.Thr.FlushPending(tm.FlushBlock)
-	s.w.s.Wait()
+	sys.SemWait(s.w.s)
 	// Withdraw the queue entry if a stale coalesced token woke us before a
 	// signaller popped it. Leaving it behind would let a later Signal be
 	// spent on a "ghost" waiter that is no longer sleeping — a lost wakeup

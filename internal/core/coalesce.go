@@ -34,9 +34,22 @@
 //     read-modify-write loop re-reads its own pending stripes on every
 //     iteration by construction, and flushing on that would silently
 //     collapse every K to one;
-//   - teardown: Thread.Detach, the bound of last resort — without it a
-//     worker that simply stops running transactions would strand its
-//     deferred wakeups forever, which is why coalescing is opt-in.
+//   - age: with Config.CoalesceMaxDelay set, the buffer records the
+//     monotonic time of its first accumulation and no wakeup is deferred
+//     past that bound. Every attempt boundary compares the deadline (one
+//     load and a subtraction), and — because all the bounds above are
+//     attempt-triggered — a lazily started backstop goroutine drains the
+//     buffer of an owner that has gone fully idle: finished its work
+//     loop, blocked on a channel, went off to serve non-TM requests. The
+//     pending fields sit behind a small per-thread ownership latch
+//     (Thread.PendingMu) so an owner flush and a backstop drain can
+//     never race;
+//   - teardown: Thread.Detach, for a worker that stops running
+//     transactions for good. With no age bound configured it is the
+//     bound of last resort: the attempt-triggered bounds alone cannot
+//     save a worker that goes idle without detaching, which is why
+//     coalescing without CoalesceMaxDelay is only safe for workers with
+//     a bounded gap between attempts.
 //
 // The merged scan itself reuses the single-commit machinery: wakeWaiters
 // re-derives stripes from the merged orec set when the table generation
@@ -46,18 +59,40 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 
 	"tmsync/internal/sem"
 	"tmsync/internal/tm"
 )
 
+// ageEpoch anchors the monotonic clock the age bound reads: PendingSince
+// and the backstop's deadlines are nanoseconds since this process-wide
+// instant, so comparisons never involve wall-clock time.
+var ageEpoch = time.Now()
+
+func ageNow() int64 { return int64(time.Since(ageEpoch)) }
+
+// SetAgeClock replaces the monotonic clock behind the CoalesceMaxDelay age
+// bound, letting tests drive the deadline comparison, the backstop drain,
+// and the drain/owner-flush race deterministically instead of sleeping.
+// Must be called before the system runs transactions; the clock must be
+// safe for concurrent use and non-decreasing.
+func (cs *CondSync) SetAgeClock(now func() int64) { cs.ageClock = now }
+
 // accumulate merges one committed attempt's write set into the thread's
-// pending buffer. The hook contract forbids retaining the driver's slices,
-// so both sets are copied (deduplicated — across K adjacent commits of a
-// tight loop they overlap almost completely, which is the whole point).
-func (cs *CondSync) accumulate(t *tm.Thread, gen uint64, writeOrecs, writeStripes []uint32) {
-	first := t.PendingCommits == 0
+// pending buffer, under the buffer's ownership latch (the age backstop may
+// drain the buffer from another goroutine). The hook contract forbids
+// retaining the driver's slices, so both sets are copied (deduplicated —
+// across K adjacent commits of a tight loop they overlap almost
+// completely, which is the whole point). Returns whether this commit
+// started a fresh buffer, the buffer's commit count, and whether the
+// buffer has already outlived CoalesceMaxDelay.
+func (cs *CondSync) accumulate(t *tm.Thread, gen uint64, writeOrecs, writeStripes []uint32) (first bool, commits int, overdue bool) {
+	maxDelay := int64(cs.sys.Cfg.CoalesceMaxDelay)
+	t.PendingMu.Lock()
+	first = t.PendingCommits == 0
 	t.PendingCommits++
+	commits = t.PendingCommits
 	if len(writeOrecs) == 0 {
 		// The commit recorded no orecs (the HTM serial fallback): the
 		// merged flush must scan every shard, exactly as the immediate
@@ -81,6 +116,18 @@ func (cs *CondSync) accumulate(t *tm.Thread, gen uint64, writeOrecs, writeStripe
 		t.PendingGen = cur.Gen
 		t.PendingStripes = cur.StripesOf(t.PendingOrecs, t.PendingStripes[:0])
 	}
+	if maxDelay > 0 {
+		if first {
+			t.PendingSince = cs.ageClock()
+		} else {
+			overdue = cs.ageClock()-t.PendingSince >= maxDelay
+		}
+	}
+	if first {
+		t.PendingActive.Store(true)
+	}
+	t.PendingMu.Unlock()
+	return first, commits, overdue
 }
 
 // mergeSlots appends the elements of src missing from dst. Both sets are
@@ -101,26 +148,39 @@ outer:
 // flushWakeups is installed as the system's FlushWakeups hook; the driver
 // invokes it at the flush bounds it can see (always on the owning thread).
 // FlushAttemptEnd is the one conditional trigger: an attempt that ended
-// without a writer commit flushes only if it read a pending stripe.
+// without a writer commit flushes only if it read a pending stripe, hit
+// the K idle-attempt backstop, or aged past CoalesceMaxDelay.
 func (cs *CondSync) flushWakeups(t *tm.Thread, why tm.FlushReason) {
-	if t.PendingCommits == 0 {
+	if !t.PendingActive.Load() {
 		return
 	}
 	st := &cs.sys.Stats
 	switch why {
 	case tm.FlushAttemptEnd:
-		if t.PendingReadHit {
+		if t.PendingReadHit.Load() {
 			cs.flushPending(t, &st.FlushReasonRead)
 			return
 		}
-		// Backstop bound: a thread that stops writing but keeps running
+		// Backstop bounds: a thread that stops writing but keeps running
 		// read-only transactions on unrelated data trips none of the
 		// other triggers, so read-only attempts count toward the same K
-		// as commits — the deferred wakeups' delay stays bounded by K
-		// attempts of either kind.
+		// as commits, and the buffer's age is checked against
+		// CoalesceMaxDelay — the deferred wakeups' delay stays bounded
+		// whichever limit is hit first.
+		t.PendingMu.Lock()
+		if t.PendingCommits == 0 {
+			t.PendingMu.Unlock()
+			return
+		}
 		t.PendingIdle++
-		if t.PendingIdle >= cs.sys.Cfg.CoalesceCommits {
+		kflush := t.PendingIdle >= cs.sys.Cfg.CoalesceCommits
+		overdue := cs.overdueLocked(t)
+		t.PendingMu.Unlock()
+		switch {
+		case kflush:
 			cs.flushPending(t, &st.FlushReasonK)
+		case overdue:
+			cs.flushPending(t, &st.FlushReasonAge)
 		}
 	case tm.FlushAbort:
 		cs.flushPending(t, &st.FlushReasonAbort)
@@ -131,23 +191,48 @@ func (cs *CondSync) flushWakeups(t *tm.Thread, why tm.FlushReason) {
 	}
 }
 
+// overdueLocked reports whether the buffer has outlived CoalesceMaxDelay.
+// Caller holds t.PendingMu and has checked the buffer is non-empty.
+func (cs *CondSync) overdueLocked(t *tm.Thread) bool {
+	d := int64(cs.sys.Cfg.CoalesceMaxDelay)
+	return d > 0 && cs.ageClock()-t.PendingSince >= d
+}
+
 // flushPending runs the merged wake scan for everything in the thread's
-// pending buffer and resets it. The buffer is emptied (lengths zeroed,
-// backing arrays kept for reuse) before the scan: the scan's predicate
-// evaluations are read-only transactions on this very thread, whose
+// pending buffer and resets it. Snapshot and reset happen under the
+// ownership latch; the scan runs outside it (it executes whole read-only
+// transactions). The buffer is emptied before the scan for a second
+// reason: the scan's predicate evaluations run on this very thread, whose
 // attempt-end and abort paths re-enter FlushPending — with the buffer
 // already empty those re-entries are no-ops, so the flush cannot recurse.
+// If the age backstop drained the buffer between the caller's bound check
+// and the latch, there is nothing left to flush and no reason to count.
 func (cs *CondSync) flushPending(t *tm.Thread, reason *atomic.Uint64) {
+	t.PendingMu.Lock()
+	if t.PendingCommits == 0 {
+		t.PendingMu.Unlock()
+		return
+	}
 	gen, full := t.PendingGen, t.PendingFull
 	orecs, stripes := t.PendingOrecs, t.PendingStripes
+	// Truncating (rather than detaching) the backing arrays is safe here
+	// and only here: the scan below runs on the owning thread, so nothing
+	// can append into them before it finishes.
 	t.PendingOrecs = t.PendingOrecs[:0]
 	t.PendingStripes = t.PendingStripes[:0]
 	t.PendingCommits = 0
 	t.PendingIdle = 0
 	t.PendingFull = false
-	t.PendingReadHit = false
+	t.PendingActive.Store(false)
+	t.PendingMu.Unlock()
+	t.PendingReadHit.Store(false)
 	reason.Add(1)
+	cs.scanMerged(t, gen, full, orecs, stripes)
+}
 
+// scanMerged replays one merged post-commit wake scan, shared by the
+// owner's flushPending and the backstop's drainPeer.
+func (cs *CondSync) scanMerged(t *tm.Thread, gen uint64, full bool, orecs, stripes []uint32) {
 	var batch sem.Batch
 	if full {
 		// Generation 0 never matches a live view and nil orecs cannot be
@@ -161,4 +246,132 @@ func (cs *CondSync) flushPending(t *tm.Thread, reason *atomic.Uint64) {
 	if n := batch.SignalAll(); n > 0 {
 		cs.sys.Stats.BatchedSignals.Add(uint64(n))
 	}
+}
+
+// ensureBackstop lazily starts the age-bound drainer goroutine. Called
+// when a commit leaves a fresh buffer pending; a no-op when no age bound
+// is configured or a backstop is already running. The CAS on backstopOn
+// plus backstopLoop's exit double-check guarantee exactly one live
+// backstop whenever any buffer is pending.
+func (cs *CondSync) ensureBackstop() {
+	if cs.sys.Cfg.CoalesceMaxDelay <= 0 {
+		return
+	}
+	if cs.backstopOn.CompareAndSwap(false, true) {
+		go cs.backstopLoop()
+	}
+}
+
+// backstopLoop sleeps until the earliest pending buffer's deadline, drains
+// whatever is overdue by then, and repeats; it parks itself (exits) when
+// no buffer is pending, to be restarted by the next first accumulation.
+// Induction on wake times gives the liveness bound: the loop always
+// sleeps to the minimum known deadline, and any buffer that goes pending
+// mid-sleep has a LATER deadline (its PendingSince is after this scan),
+// so every buffer is drained within scheduling slack of its own deadline.
+func (cs *CondSync) backstopLoop() {
+	d := int64(cs.sys.Cfg.CoalesceMaxDelay)
+	for {
+		next := int64(-1)
+		for _, t := range cs.sys.Threads() {
+			if !t.PendingActive.Load() {
+				continue
+			}
+			t.PendingMu.Lock()
+			since, pending := t.PendingSince, t.PendingCommits != 0
+			t.PendingMu.Unlock()
+			if !pending {
+				continue
+			}
+			if dl := since + d; next < 0 || dl < next {
+				next = dl
+			}
+		}
+		if next < 0 {
+			// Nothing pending: park. A buffer that went pending between
+			// the scan above and the flag store would have seen the stale
+			// "running" flag and not restarted us, so re-check and
+			// reclaim the flag rather than exit with work outstanding.
+			cs.backstopOn.Store(false)
+			if !cs.anyPending() || !cs.backstopOn.CompareAndSwap(false, true) {
+				return
+			}
+			continue
+		}
+		if sleep := next - cs.ageClock(); sleep > 0 {
+			time.Sleep(time.Duration(sleep))
+		}
+		cs.DrainOverdue()
+	}
+}
+
+// anyPending reports whether any registered thread holds a pending buffer.
+func (cs *CondSync) anyPending() bool {
+	for _, t := range cs.sys.Threads() {
+		if t.PendingActive.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// DrainOverdue flushes, on behalf of their owners, every pending buffer
+// that has outlived Config.CoalesceMaxDelay — the fix for the stranding
+// bug: an owner that went idle without detaching will never trip an
+// attempt-triggered bound, so somebody else must run its merged scan. The
+// backstop goroutine is the production caller; it is exported so
+// deterministic tests can drive the drain against an injected clock.
+// Returns the number of buffers drained. Drains are serialized (they
+// share one scan descriptor) but run concurrently with owner flushes,
+// against which the per-thread latch arbitrates: exactly one side wins
+// each buffer.
+func (cs *CondSync) DrainOverdue() int {
+	if cs.sys.Cfg.CoalesceMaxDelay <= 0 {
+		return 0
+	}
+	cs.backstopMu.Lock()
+	defer cs.backstopMu.Unlock()
+	if cs.backstopThr == nil {
+		// The drainer's own descriptor: predicate re-evaluations during a
+		// scan are whole transactions and need a thread that is not the
+		// (possibly mid-transaction) owner's. Never detached — it holds
+		// no pending state of its own, only read-only attempts.
+		cs.backstopThr = cs.sys.NewThread()
+	}
+	now := cs.ageClock()
+	drained := 0
+	for _, t := range cs.sys.Threads() {
+		if t == cs.backstopThr || !t.PendingActive.Load() {
+			continue
+		}
+		if cs.drainPeer(t, now) {
+			drained++
+		}
+	}
+	return drained
+}
+
+// drainPeer claims and flushes one overdue buffer under its owner's latch.
+func (cs *CondSync) drainPeer(t *tm.Thread, now int64) bool {
+	t.PendingMu.Lock()
+	if t.PendingCommits == 0 || now-t.PendingSince < int64(cs.sys.Cfg.CoalesceMaxDelay) {
+		t.PendingMu.Unlock()
+		return false
+	}
+	gen, full := t.PendingGen, t.PendingFull
+	orecs, stripes := t.PendingOrecs, t.PendingStripes
+	// Detach the backing arrays instead of truncating them: the owner may
+	// resume transacting the moment the latch drops, and its appends must
+	// not race the scan below. The owner allocates afresh on its next
+	// accumulation.
+	t.PendingOrecs, t.PendingStripes = nil, nil
+	t.PendingCommits = 0
+	t.PendingIdle = 0
+	t.PendingFull = false
+	t.PendingActive.Store(false)
+	t.PendingMu.Unlock()
+	t.PendingReadHit.Store(false)
+	cs.sys.Stats.FlushReasonAge.Add(1)
+	cs.scanMerged(cs.backstopThr, gen, full, orecs, stripes)
+	return true
 }

@@ -10,6 +10,7 @@ package core_test
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -250,6 +251,165 @@ func TestCoalesceAgeBoundRescuesStrandedIdleWriter(t *testing.T) {
 	})
 }
 
+// fakeAgeClock is an injectable monotonic clock for the CoalesceMaxDelay
+// paths: tests advance it explicitly instead of sleeping, so the deadline
+// comparison and the backstop drain are exercised deterministically (and
+// under -race, since the backstop goroutine reads it concurrently).
+type fakeAgeClock struct{ now atomic.Int64 }
+
+func (c *fakeAgeClock) install(cs *core.CondSync) { cs.SetAgeClock(c.now.Load) }
+func (c *fakeAgeClock) advance(d time.Duration)   { c.now.Add(int64(d)) }
+
+// TestCoalesceAgeFlushAtCommitBoundary drives the commit-boundary age
+// check against a fake clock: a buffer older than CoalesceMaxDelay must
+// flush at the owner's next commit, without any real time passing.
+func TestCoalesceAgeFlushAtCommitBoundary(t *testing.T) {
+	cfg := tm.Config{CoalesceCommits: 1 << 20, CoalesceMaxDelay: time.Hour}
+	forEachCoalesce(t, allEngines, cfg, func(t *testing.T, sys *tm.System, cs *core.CondSync) {
+		var clk fakeAgeClock
+		clk.install(cs)
+		var flag, other uint64
+		done := park(sys, cs, &flag)
+		waitCond(t, "waiter asleep", func() bool { return cs.WaitingLen() == 1 })
+
+		writer := sys.NewThread()
+		writer.Atomic(func(tx *tm.Tx) { tx.Write(&flag, 1) }) // buffer born at fake t=0
+		clk.advance(2 * time.Hour)
+		writer.Atomic(func(tx *tm.Tx) { tx.Write(&other, 1) }) // overdue: must flush here
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter never woke: the commit-boundary age check did not flush")
+		}
+		if got := sys.Stats.FlushReasonAge.Load(); got != 1 {
+			t.Errorf("flush_age = %d, want 1", got)
+		}
+	})
+}
+
+// TestCoalesceAgeFlushAtAttemptBoundary drives the read-only-attempt age
+// check against a fake clock: an overdue buffer must flush when the owner
+// finishes a read-only attempt on unrelated data, long before the K
+// idle-attempt backstop would trip. STM engines only: a hardware commit
+// records no orecs, marking the buffer full-scan, which turns any
+// subsequent read into a read-back flush before the age check is reached.
+func TestCoalesceAgeFlushAtAttemptBoundary(t *testing.T) {
+	cfg := tm.Config{CoalesceCommits: 1 << 20, CoalesceMaxDelay: time.Hour}
+	forEachCoalesce(t, stmEngines, cfg, func(t *testing.T, sys *tm.System, cs *core.CondSync) {
+		var clk fakeAgeClock
+		clk.install(cs)
+		addrs := disjointStripeAddrs(t, sys, 2)
+		flag, unrelated := addrs[0], addrs[1]
+		done := park(sys, cs, flag)
+		waitCond(t, "waiter asleep", func() bool { return cs.WaitingLen() == 1 })
+
+		writer := sys.NewThread()
+		writer.Atomic(func(tx *tm.Tx) { tx.Write(flag, 1) })
+		clk.advance(2 * time.Hour)
+		writer.Atomic(func(tx *tm.Tx) { _ = tx.Read(unrelated) })
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter never woke: the attempt-boundary age check did not flush")
+		}
+		if got := sys.Stats.FlushReasonAge.Load(); got != 1 {
+			t.Errorf("flush_age = %d, want 1", got)
+		}
+	})
+}
+
+// TestDrainOverdueFlushesIdleBuffer drives the backstop drain itself
+// against a fake clock: an idle owner's buffer must be claimed and
+// flushed by DrainOverdue exactly when it becomes overdue — the direct,
+// sleep-free form of the stranding reproducer above.
+func TestDrainOverdueFlushesIdleBuffer(t *testing.T) {
+	cfg := tm.Config{CoalesceCommits: 1 << 20, CoalesceMaxDelay: time.Hour}
+	forEachCoalesce(t, allEngines, cfg, func(t *testing.T, sys *tm.System, cs *core.CondSync) {
+		var clk fakeAgeClock
+		clk.install(cs)
+		var flag uint64
+		done := park(sys, cs, &flag)
+		waitCond(t, "waiter asleep", func() bool { return cs.WaitingLen() == 1 })
+
+		writer := sys.NewThread()
+		writer.Atomic(func(tx *tm.Tx) { tx.Write(&flag, 1) })
+		if got := cs.DrainOverdue(); got != 0 {
+			t.Fatalf("DrainOverdue drained %d buffers before the deadline, want 0", got)
+		}
+		clk.advance(2 * time.Hour)
+		if got := cs.DrainOverdue(); got != 1 {
+			t.Fatalf("DrainOverdue drained %d overdue buffers, want 1", got)
+		}
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter never woke after the backstop drained the idle owner's buffer")
+		}
+		if got := sys.Stats.FlushReasonAge.Load(); got != 1 {
+			t.Errorf("flush_age = %d, want 1", got)
+		}
+		if got := cs.DrainOverdue(); got != 0 {
+			t.Errorf("second DrainOverdue drained %d buffers, want 0 (already empty)", got)
+		}
+	})
+}
+
+// TestDrainOverdueRacesOwnerFlush hammers the backstop drain against
+// owners that are actively committing, flushing, and sleeping: with a
+// one-nanosecond bound every buffer is overdue the moment it exists, so
+// the per-thread ownership latch arbitrates a continuous stream of
+// drain-vs-owner-flush races. Run under -race in CI; the handoff must
+// still conserve its token, and exactly one side must win each buffer
+// (a double flush would double-signal, a lost buffer would wedge).
+func TestDrainOverdueRacesOwnerFlush(t *testing.T) {
+	cfg := tm.Config{CoalesceCommits: 4, CoalesceMaxDelay: time.Nanosecond}
+	forEachCoalesce(t, allEngines, cfg, func(t *testing.T, sys *tm.System, cs *core.CondSync) {
+		const passes = 30
+		var slots [2]uint64
+		slots[0] = 1
+		done := make(chan struct{})
+		go func() { // drain hammer, racing the owners' own flush bounds
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					cs.DrainOverdue()
+				}
+			}
+		}()
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				thr := sys.NewThread()
+				defer thr.Detach()
+				for p := 0; p < passes; p++ {
+					thr.Atomic(func(tx *tm.Tx) {
+						if tx.Read(&slots[i]) == 0 {
+							core.Retry(tx)
+						}
+						tx.Write(&slots[i], 0)
+						tx.Write(&slots[1-i], 1)
+					})
+				}
+			}(i)
+		}
+		finished := make(chan struct{})
+		go func() { wg.Wait(); close(finished) }()
+		select {
+		case <-finished:
+		case <-time.After(60 * time.Second):
+			t.Fatal("handoff wedged while racing the backstop drain")
+		}
+		close(done)
+		if slots[0] != 1 || slots[1] != 0 {
+			t.Errorf("token state %v after even passes, want [1 0]", slots)
+		}
+	})
+}
+
 // TestCoalesceFlushesOnDetach: teardown is the bound of last resort — a
 // worker that stops running transactions flushes via Thread.Detach.
 func TestCoalesceFlushesOnDetach(t *testing.T) {
@@ -387,8 +547,10 @@ func TestCoalesceCondvarWaitFlushes(t *testing.T) {
 // at system construction, not discovered as silent misbehaviour.
 func TestCoalesceConfigContradictions(t *testing.T) {
 	for name, cfg := range map[string]tm.Config{
-		"negative":  {CoalesceCommits: -1},
-		"unbatched": {CoalesceCommits: 2, UnbatchedWakeups: true},
+		"negative":           {CoalesceCommits: -1},
+		"unbatched":          {CoalesceCommits: 2, UnbatchedWakeups: true},
+		"negative-max-delay": {CoalesceCommits: 2, CoalesceMaxDelay: -time.Millisecond},
+		"max-delay-alone":    {CoalesceMaxDelay: time.Millisecond},
 	} {
 		t.Run(name, func(t *testing.T) {
 			defer func() {

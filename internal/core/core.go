@@ -159,6 +159,15 @@ type CondSync struct {
 	// decisions, forced schedules, and tests alike).
 	resizeMu sync.Mutex
 
+	// Age-bound backstop state (Config.CoalesceMaxDelay, coalesce.go):
+	// the clock the bound reads (replaceable for deterministic tests),
+	// whether a backstop goroutine is live, the mutex serializing drain
+	// scans, and the drainer's own thread descriptor, created lazily.
+	ageClock    func() int64
+	backstopOn  atomic.Bool
+	backstopMu  sync.Mutex
+	backstopThr *tm.Thread
+
 	ctl controller
 }
 
@@ -166,7 +175,7 @@ type CondSync struct {
 // the post-commit wakeWaiters hook. It must be called once, before any
 // transactions run.
 func Enable(sys *tm.System) *CondSync {
-	cs := &CondSync{sys: sys}
+	cs := &CondSync{sys: sys, ageClock: ageNow}
 	cs.tier.Store(newTier(sys.Table.Current()))
 	cs.ctl.init(sys.Cfg)
 	sys.Ext = cs
@@ -409,13 +418,23 @@ func (cs *CondSync) postCommit(t *tm.Thread, gen uint64, writeOrecs, writeStripe
 		// necessarily re-reads its own pending stripes every iteration,
 		// and flushing on that would quietly reduce every K to one. The
 		// remaining bounds (block, abort, read-only attempts that read a
-		// pending stripe, teardown) flush through the FlushWakeups hook.
-		cs.accumulate(t, gen, writeOrecs, writeStripes)
-		t.PendingReadHit = false
-		if t.PendingCommits >= k {
+		// pending stripe, teardown) flush through the FlushWakeups hook,
+		// and a buffer that has outlived CoalesceMaxDelay flushes right
+		// here — the commit boundary's cheap age comparison. A commit
+		// that leaves a fresh buffer pending arms the backstop drainer,
+		// the only flush path left for an owner that goes idle.
+		first, commits, overdue := cs.accumulate(t, gen, writeOrecs, writeStripes)
+		t.PendingReadHit.Store(false)
+		switch {
+		case commits >= k:
 			cs.flushPending(t, &cs.sys.Stats.FlushReasonK)
-		} else {
+		case overdue:
+			cs.flushPending(t, &cs.sys.Stats.FlushReasonAge)
+		default:
 			cs.sys.Stats.CoalescedScans.Add(1)
+			if first {
+				cs.ensureBackstop()
+			}
 		}
 		cs.maybeAdapt()
 		return
@@ -662,7 +681,7 @@ func (s deschedSignal) Handle(tx *tm.Tx) tm.Outcome {
 			tx.Thr.Sem.TryDrain()
 		}
 	} else {
-		tx.Thr.Sem.Wait()
+		cs.sys.SemWait(tx.Thr.Sem)
 		// Clear the claim flag ourselves: if the consumed token was stale
 		// (a pre-drain waker's signal landing mid-cycle), no waker has
 		// CASed asleep for THIS cycle, and leaving it set would let a
@@ -856,7 +875,7 @@ func (s origSignal) Handle(tx *tm.Tx) tm.Outcome {
 		break
 	}
 
-	tx.Thr.Sem.Wait()
+	cs.sys.SemWait(tx.Thr.Sem)
 	cs.sys.Stats.Wakeups.Add(1)
 	// Deregister: the claiming waker removed the entry from the shard it
 	// scanned, but entries on the entry's other stripes — or, after a

@@ -10,6 +10,7 @@ package harness
 
 import (
 	"testing"
+	"time"
 )
 
 var coalesceBounds = []int{0, 2, 8}
@@ -52,6 +53,37 @@ func TestGeneratedSuiteIdenticalCoalescingUnderForcedResizes(t *testing.T) {
 			for _, r := range RunScenarioKnobs(s, Engines, "", knobs) {
 				if !r.Pass {
 					t.Errorf("coalesce=%d under forced resizes: %s", k, r.String())
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratedSuiteIdenticalWithAgeBound crosses coalescing with the
+// CoalesceMaxDelay age bound: the age flush (commit/attempt boundary
+// checks and the idle-owner backstop drain alike) is pure latency
+// mechanics, so even sub-millisecond bounds that fire constantly must
+// yield outcomes identical to the sequential oracle.
+func TestGeneratedSuiteIdenticalWithAgeBound(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	bounds := []struct {
+		k int
+		d time.Duration
+	}{
+		{2, 500 * time.Microsecond}, // fires constantly, racing owner flushes
+		{8, 2 * time.Millisecond},
+		{8, time.Hour}, // armed but never firing: plain coalescing behaviour
+	}
+	for _, seed := range seeds {
+		s := Generate(seed, GenConfig{})
+		for _, b := range bounds {
+			knobs := Knobs{CoalesceCommits: b.k, CoalesceMaxDelay: b.d}
+			for _, r := range RunScenarioKnobs(s, Engines, "", knobs) {
+				if !r.Pass {
+					t.Errorf("coalesce=%d max-delay=%v: %s", b.k, b.d, r.String())
 				}
 			}
 		}

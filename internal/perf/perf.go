@@ -4,8 +4,9 @@
 // buffer and the eight PARSEC concurrency skeletons) across a ladder of
 // goroutine counts, from a fixed seed, and emits one machine-readable
 // report per invocation. The report is the performance trajectory later
-// PRs diff against: throughput, abort rate, and — the quantity the
-// sharded orec table exists to shrink — wakeup-scan work per commit.
+// PRs diff against: throughput, abort rate, the quantity the sharded orec
+// table exists to shrink — wakeup-scan work per commit — and, since the
+// CoalesceMaxDelay age bound, sleep-to-signal wake latency.
 //
 // Every run also self-checks: PARSEC checksums are diffed against the
 // sequential reference, so a benchmark that silently computes the wrong
@@ -14,6 +15,8 @@ package perf
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -109,6 +112,25 @@ type Options struct {
 	// TightloopBatch is the consumer's claim size (default 200).
 	TightloopOps, TightloopBatch int
 
+	// LatencyThreads is the goroutine ladder of the wake-latency sweep;
+	// empty skips it (cmd/tmbench passes 8 by default). Each rung runs the
+	// tightloop/idle workload — producers that go idle on a plain Go
+	// channel with wake scans still pending, the exact shape of the
+	// stranding bug — and measures sleep-to-signal latency where only the
+	// CoalesceMaxDelay age backstop can deliver the wakeup.
+	LatencyThreads []int
+	// LatencyMaxDelay is the Config.CoalesceMaxDelay the latency cells run
+	// with (default 25ms). LatencySlack is the scheduling allowance the
+	// verdict grants on top of it (default 20ms): the backstop wakes
+	// within OS-timer and scheduler slack of the deadline, not at it.
+	LatencyMaxDelay, LatencySlack time.Duration
+	// LatencyRounds is the number of burst/claim hand-offs per lane
+	// (default 12; each round records one consumer sleep). LatencyBurst is
+	// the commits per producer burst (default 8); the cells run
+	// CoalesceCommits at four times this, so no commit-count bound can
+	// preempt the age bound being measured.
+	LatencyRounds, LatencyBurst int
+
 	// Progress, when set, receives one call per completed point.
 	Progress func(done, total int, p Point)
 }
@@ -176,6 +198,18 @@ func (o Options) withDefaults() Options {
 		// runs — the regime coalescing targets — without changing the
 		// workload's total work.
 		o.TightloopBatch = 200
+	}
+	if o.LatencyMaxDelay == 0 {
+		o.LatencyMaxDelay = 25 * time.Millisecond
+	}
+	if o.LatencySlack == 0 {
+		o.LatencySlack = 20 * time.Millisecond
+	}
+	if o.LatencyRounds == 0 {
+		o.LatencyRounds = 12
+	}
+	if o.LatencyBurst == 0 {
+		o.LatencyBurst = 8
 	}
 	return o
 }
@@ -265,7 +299,18 @@ type Point struct {
 	FlushBlock    uint64 `json:"flush_block,omitempty"`
 	FlushAbort    uint64 `json:"flush_abort,omitempty"`
 	FlushRead     uint64 `json:"flush_read,omitempty"`
+	FlushAge      uint64 `json:"flush_age,omitempty"`
 	FlushTeardown uint64 `json:"flush_teardown,omitempty"`
+	// MaxDelayNs is the Config.CoalesceMaxDelay the point ran with
+	// (latency cells only).
+	MaxDelayNs int64 `json:"max_delay_ns,omitempty"`
+	// WakeSleeps counts the semaphore sleeps the cell timed;
+	// WakeLatencyP50Ns/P99Ns/MaxNs are nearest-rank quantiles of the
+	// sleep-to-signal latency across them (latency cells only).
+	WakeSleeps       uint64 `json:"wake_sleeps,omitempty"`
+	WakeLatencyP50Ns int64  `json:"wake_latency_p50_ns,omitempty"`
+	WakeLatencyP99Ns int64  `json:"wake_latency_p99_ns,omitempty"`
+	WakeLatencyMaxNs int64  `json:"wake_latency_max_ns,omitempty"`
 	// Checksum is the workload checksum (PARSEC kernels), verified
 	// against the sequential reference before the point is recorded.
 	Checksum uint64 `json:"checksum,omitempty"`
@@ -369,6 +414,44 @@ type CoalesceVerdict struct {
 	Improved bool `json:"improved"`
 }
 
+// LatencyVerdict summarizes the wake-latency sweep at 8 goroutines (or
+// the sweep's highest rung): on the tightloop/idle workload — producers
+// that go idle on a plain channel with wake scans still pending, so only
+// the CoalesceMaxDelay age backstop can wake the sleeping consumers — the
+// worst measured cell's p99 sleep-to-signal latency must stay within the
+// configured bound plus a scheduling slack. The throughput fields compare
+// this run's coalesce-sweep tight-loop throughput at the highest K
+// against the prior report's (cmd/tmbench fills them; the guard passes
+// vacuously without a prior report): bounding wake latency must not cost
+// the tight loop the scans coalescing saved.
+type LatencyVerdict struct {
+	Workload   string `json:"workload"`
+	Threads    int    `json:"threads"`
+	K          int    `json:"k"` // CoalesceCommits the cells ran with
+	MaxDelayNs int64  `json:"max_delay_ns"`
+	SlackNs    int64  `json:"slack_ns"`
+
+	// Sleeps pools every cell at the verdict rung; the quantiles are the
+	// WORST cell's (max over per-cell quantiles — pooling raw samples
+	// would let a fast engine's sleeps dilute a slow engine's tail).
+	Sleeps uint64 `json:"sleeps"`
+	P50Ns  int64  `json:"p50_ns"`
+	P99Ns  int64  `json:"p99_ns"`
+	MaxNs  int64  `json:"max_ns"`
+	// WithinBound additionally requires that sleeps were actually timed:
+	// a run whose consumers never slept proves nothing about latency.
+	WithinBound bool `json:"within_bound"`
+
+	TightloopThroughputPrior float64 `json:"tightloop_throughput_prior,omitempty"`
+	TightloopThroughput      float64 `json:"tightloop_throughput,omitempty"`
+	ThroughputWithin10Pct    bool    `json:"throughput_within_10pct"`
+
+	// Holds is the headline claim: no waiter sleeps past the age bound
+	// (plus slack) while its notifier idles, at no material throughput
+	// cost.
+	Holds bool `json:"holds"`
+}
+
 // Report is the machine-readable result of one sweep (BENCH_PR<N>.json).
 type Report struct {
 	Schema          string           `json:"schema"`
@@ -396,6 +479,9 @@ type Report struct {
 	CoalesceKs      []int            `json:"coalesce_ks,omitempty"`
 	CoalesceSweep   []Point          `json:"coalesce_sweep,omitempty"`
 	CoalesceVerdict *CoalesceVerdict `json:"coalesce_verdict,omitempty"`
+	LatencyThreads  []int            `json:"latency_threads,omitempty"`
+	LatencySweep    []Point          `json:"latency_sweep,omitempty"`
+	LatencyVerdict  *LatencyVerdict  `json:"latency_verdict,omitempty"`
 }
 
 // runTimed executes one cell's measured section and returns its elapsed
@@ -467,7 +553,9 @@ func Run(o Options) (*Report, error) {
 		unbatched bool
 		adaptive  bool
 		coal      bool // belongs to the coalesce sweep
+		lat       bool // belongs to the wake-latency sweep
 		coalesce  int  // Config.CoalesceCommits for the cell
+		maxDelay  time.Duration
 		// reps repeats the cell (multiplied by Trials): the Retry-Orig
 		// ring's scan rate carries heavy scheduling noise per run, and
 		// pooled repetitions are what make a 10% comparison meaningful.
@@ -605,6 +693,22 @@ func Run(o Options) (*Report, error) {
 			}
 		}
 	}
+	// Wake-latency sweep: the tightloop/idle workload at every
+	// LatencyThreads rung × engine, coalescing armed with the age bound.
+	// Producers go idle on a plain channel mid-round with wake scans still
+	// pending, so the cells are a direct measurement of the idle-owner
+	// backstop: without it every one of them deadlocks.
+	if len(o.LatencyThreads) > 0 {
+		rep.LatencyThreads = o.LatencyThreads
+		for _, threads := range o.LatencyThreads {
+			if threads < 2 {
+				continue // needs producer/consumer pairs
+			}
+			for _, e := range o.Engines {
+				cells = append(cells, cell{workload: "tightloop/idle", engine: e, m: mech.WaitPred, threads: threads, lat: true, coalesce: 4 * o.LatencyBurst, maxDelay: o.LatencyMaxDelay, reps: 3})
+			}
+		}
+	}
 
 	highStripes := 0
 	for _, s := range o.SweepStripes {
@@ -628,7 +732,7 @@ func Run(o Options) (*Report, error) {
 			reps = 1
 		}
 		for trial := 0; trial < reps*o.Trials; trial++ {
-			k := harness.Knobs{Stripes: c.stripes, Unbatched: c.unbatched, CoalesceCommits: c.coalesce}
+			k := harness.Knobs{Stripes: c.stripes, Unbatched: c.unbatched, CoalesceCommits: c.coalesce, CoalesceMaxDelay: c.maxDelay}
 			if c.adaptive {
 				// Start deliberately wrong (one stripe, the old global
 				// table) and let the controller roam up to the sweep's
@@ -657,6 +761,8 @@ func Run(o Options) (*Report, error) {
 			p.Adaptive = c.adaptive
 			p.Coalesce = c.coalesce
 			switch {
+			case c.lat:
+				rep.LatencySweep = append(rep.LatencySweep, p)
 			case c.coal:
 				rep.CoalesceSweep = append(rep.CoalesceSweep, p)
 			case c.adaptive:
@@ -678,6 +784,7 @@ func Run(o Options) (*Report, error) {
 	rep.OrigVerdict = origVerdict(rep.OrigSweep, o.SweepStripes)
 	rep.AdaptiveVerdict = adaptiveVerdict(rep, o, sweepWorkload, maxThreads, highStripes)
 	rep.CoalesceVerdict = coalesceVerdict(rep.CoalesceSweep, sweepWorkload, coalesceMaxK)
+	rep.LatencyVerdict = latencyVerdict(rep.LatencySweep, o)
 	return rep, nil
 }
 
@@ -1002,6 +1109,9 @@ func runCell(workload, engine string, m mech.Mechanism, threads int, k harness.K
 	if workload == "tightloop" {
 		return runTightloop(engine, threads, k, trial, o)
 	}
+	if workload == "tightloop/idle" {
+		return runTightloopIdle(engine, threads, k, trial, o)
+	}
 	if strings.HasPrefix(workload, "parsec/") {
 		return runParsec(strings.TrimPrefix(workload, "parsec/"), engine, m, threads, k, trial, o)
 	}
@@ -1041,6 +1151,7 @@ func fill(p *Point, sys *tm.System, secs float64) {
 	p.FlushBlock = s.FlushReasonBlock.Load()
 	p.FlushAbort = s.FlushReasonAbort.Load()
 	p.FlushRead = s.FlushReasonRead.Load()
+	p.FlushAge = s.FlushReasonAge.Load()
 	p.FlushTeardown = s.FlushReasonTeardown.Load()
 	if p.Resizes = s.StripeResizes.Load(); p.Resizes > 0 {
 		p.FinalStripes = sys.Table.NumStripes()
@@ -1188,6 +1299,173 @@ func runTightloop(engine string, threads int, k harness.Knobs, trial int, o Opti
 	p.Ops = 2 * ops * uint64(lanes)
 	fill(&p, sys, secs)
 	return p, nil
+}
+
+// latencyRecorder collects sleep-to-signal durations through the system's
+// WakeLatency hook. Mutex-guarded: consumers on every lane record
+// concurrently.
+type latencyRecorder struct {
+	mu      sync.Mutex
+	samples []int64
+}
+
+func (r *latencyRecorder) record(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, int64(d))
+	r.mu.Unlock()
+}
+
+// stats returns the sample count and nearest-rank p50/p99/max quantiles.
+func (r *latencyRecorder) stats() (n uint64, p50, p99, max int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0, 0, 0, 0
+	}
+	s := append([]int64(nil), r.samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := func(q float64) int64 {
+		i := int(math.Ceil(q*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	return uint64(len(s)), rank(0.50), rank(0.99), s[len(s)-1]
+}
+
+// runTightloopIdle measures one wake-latency cell: the tight-loop pair,
+// restructured so the producer goes idle with its wake scan still pending
+// — the exact shape of the stranding bug the age bound fixes. Per round,
+// the producer commits LatencyBurst-1 increments (the consumer reads the
+// partial count and sleeps in WaitPred), pauses a moment so the consumer
+// is asleep, commits the final increment that makes the predicate true —
+// the scan is deferred, CoalesceCommits being four bursts deep — and then
+// blocks on a plain Go channel. No attempt-triggered flush bound can fire
+// while it idles there (and it must not poll the count transactionally:
+// that would trip the read-back flush and measure the wrong mechanism),
+// so only the CoalesceMaxDelay backstop can wake the consumer; the timed
+// sleep-to-signal latency is the age bound's enforcement latency plus
+// scheduling slack. Self-check: every produced unit is consumed.
+func runTightloopIdle(engine string, threads int, k harness.Knobs, trial int, o Options) (Point, error) {
+	p := Point{Workload: "tightloop/idle", Engine: engine, Mech: string(mech.WaitPred), Threads: threads, MaxDelayNs: int64(k.CoalesceMaxDelay), Trial: trial}
+	if threads < 2 {
+		return Point{}, fmt.Errorf("tightloop/idle: need at least 2 threads (have %d)", threads)
+	}
+	if k.CoalesceMaxDelay <= 0 || k.CoalesceCommits <= o.LatencyBurst {
+		return Point{}, fmt.Errorf("tightloop/idle: needs CoalesceMaxDelay > 0 and CoalesceCommits > LatencyBurst (the cell deadlocks without the age backstop, by design)")
+	}
+	sys, err := harness.NewSystemKnobs(engine, k)
+	if err != nil {
+		return Point{}, err
+	}
+	rec := &latencyRecorder{}
+	sys.WakeLatency = rec.record
+	lanes := threads / 2
+	burst := uint64(o.LatencyBurst)
+	rounds := o.LatencyRounds
+	counts := make([]uint64, lanes)
+	var wg sync.WaitGroup
+	secs := runTimed(func() {
+		for lane := 0; lane < lanes; lane++ {
+			wg.Add(2)
+			count := &counts[lane]
+			ready := make(chan struct{})
+			consumed := make(chan struct{})
+			go func() { // producer: bursts, then idles on a channel
+				defer wg.Done()
+				thr := sys.NewThread()
+				defer thr.Detach()
+				inc := func() {
+					thr.Atomic(func(tx *tm.Tx) {
+						tx.Write(count, tx.Read(count)+1)
+					})
+				}
+				for r := 0; r < rounds; r++ {
+					<-ready
+					for i := uint64(0); i < burst-1; i++ {
+						inc()
+					}
+					// Let the consumer reach its WaitPred sleep on the
+					// partial count before the final increment defers the
+					// one wakeup it needs.
+					time.Sleep(time.Millisecond)
+					inc()
+					<-consumed
+				}
+			}()
+			go func() { // consumer: one sleep-and-claim per round
+				defer wg.Done()
+				thr := sys.NewThread()
+				defer thr.Detach()
+				full := func(tx *tm.Tx, _ []uint64) bool { return tx.Read(count) >= burst }
+				for r := 0; r < rounds; r++ {
+					ready <- struct{}{}
+					thr.Atomic(func(tx *tm.Tx) {
+						c := tx.Read(count)
+						if c < burst {
+							core.WaitPred(tx, full)
+						}
+						tx.Write(count, c-burst)
+					})
+					consumed <- struct{}{}
+				}
+			}()
+		}
+		wg.Wait()
+	})
+	for lane, c := range counts {
+		if c != 0 {
+			return Point{}, fmt.Errorf("tightloop/idle: lane %d ends with %d unconsumed units (lost or duplicated wakeup)", lane, c)
+		}
+	}
+	p.Ops = burst * uint64(rounds) * uint64(lanes)
+	fill(&p, sys, secs)
+	p.WakeSleeps, p.WakeLatencyP50Ns, p.WakeLatencyP99Ns, p.WakeLatencyMaxNs = rec.stats()
+	return p, nil
+}
+
+// latencyVerdict aggregates the wake-latency sweep at 8 goroutines (or
+// its highest rung). The quantiles take the worst cell rather than
+// pooling samples, and the throughput guard stays vacuously true here —
+// cmd/tmbench fills it from the prior report's coalesce verdict and
+// recomputes Holds.
+func latencyVerdict(sweep []Point, o Options) *LatencyVerdict {
+	if len(sweep) == 0 {
+		return nil
+	}
+	threads := 0
+	for _, p := range sweep {
+		if p.Threads > threads {
+			threads = p.Threads
+		}
+	}
+	v := &LatencyVerdict{
+		Workload:              "tightloop/idle",
+		Threads:               threads,
+		K:                     4 * o.LatencyBurst,
+		MaxDelayNs:            int64(o.LatencyMaxDelay),
+		SlackNs:               int64(o.LatencySlack),
+		ThroughputWithin10Pct: true,
+	}
+	for _, p := range sweep {
+		if p.Threads != threads {
+			continue
+		}
+		v.Sleeps += p.WakeSleeps
+		if p.WakeLatencyP50Ns > v.P50Ns {
+			v.P50Ns = p.WakeLatencyP50Ns
+		}
+		if p.WakeLatencyP99Ns > v.P99Ns {
+			v.P99Ns = p.WakeLatencyP99Ns
+		}
+		if p.WakeLatencyMaxNs > v.MaxNs {
+			v.MaxNs = p.WakeLatencyMaxNs
+		}
+	}
+	v.WithinBound = v.Sleeps > 0 && v.P99Ns <= v.MaxDelayNs+v.SlackNs
+	v.Holds = v.WithinBound && v.ThroughputWithin10Pct
+	return v
 }
 
 // coalesceVerdict aggregates the coalesce sweep at 8 goroutines (or the

@@ -216,7 +216,7 @@ func (tx *Tx) Rand() uint64 {
 // accumulating under the K-commit bound.
 func (tx *Tx) Read(addr *uint64) uint64 {
 	v := tx.Sys.Engine.Read(tx, addr)
-	if (len(tx.Thr.PendingStripes) != 0 || tx.Thr.PendingFull) && !tx.Thr.PendingReadHit {
+	if tx.Thr.PendingActive.Load() && !tx.Thr.PendingReadHit.Load() {
 		tx.noteReadHit(addr)
 	}
 	return v
@@ -226,19 +226,33 @@ func (tx *Tx) Read(addr *uint64) uint64 {
 // line so the common no-pending case stays a load and a compare. A stale
 // pending generation (the table resized under the buffer) or a full-scan
 // marker is treated as a hit: re-deriving membership here would cost more
-// than the flush it avoids.
+// than the flush it avoids. The stripe walk runs under the pending latch:
+// the age backstop may drain the buffer from another goroutine, and a
+// drain between Read's gate and this walk just leaves the buffer empty —
+// no hit, nothing left to flush.
 func (tx *Tx) noteReadHit(addr *uint64) {
 	t := tx.Thr
+	t.PendingMu.Lock()
+	if t.PendingCommits == 0 {
+		t.PendingMu.Unlock()
+		return
+	}
 	if t.PendingFull || t.PendingGen != tx.TableView.Gen {
-		t.PendingReadHit = true
+		t.PendingMu.Unlock()
+		t.PendingReadHit.Store(true)
 		return
 	}
 	s := tx.TableView.StripeOf(tx.Sys.Table.IndexOf(addr))
+	hit := false
 	for _, x := range t.PendingStripes {
 		if x == s {
-			t.PendingReadHit = true
-			return
+			hit = true
+			break
 		}
+	}
+	t.PendingMu.Unlock()
+	if hit {
+		t.PendingReadHit.Store(true)
 	}
 }
 
@@ -817,6 +831,16 @@ type System struct {
 	// the hook may run whole (read-only) transactions on the thread.
 	FlushWakeups func(t *Thread, why FlushReason)
 
+	// WakeLatency, if set, receives the sleep-to-signal duration of every
+	// semaphore sleep — Deschedule, Retry-Orig, and condition-variable
+	// waits: the time from the waiter parking on its semaphore to the
+	// signal releasing it. Installed by measurement harnesses
+	// (internal/perf) before any thread runs and never changed afterwards;
+	// nil outside benchmarks, so the sleep paths pay one predictable
+	// branch. The callback runs on the woken thread and must be safe for
+	// concurrent use.
+	WakeLatency func(d time.Duration)
+
 	// Ext points at the condition-synchronization layer (package core)
 	// when one is enabled; tm itself never inspects it.
 	Ext any
@@ -842,6 +866,21 @@ func NewSystem(cfg Config, mk func(*System) Engine) *System {
 	s.pool.init()
 	s.Engine = mk(s)
 	return s
+}
+
+// SemWait parks the calling goroutine on sm, reporting the sleep-to-signal
+// duration to the WakeLatency hook when one is installed. Every
+// condition-synchronization sleep (deschedule, Retry-Orig, condition-
+// variable wait) funnels through it so latency instrumentation covers all
+// sleep sites uniformly.
+func (s *System) SemWait(sm *sem.Sem) {
+	if fn := s.WakeLatency; fn != nil {
+		t0 := time.Now()
+		sm.Wait()
+		fn(time.Since(t0))
+		return
+	}
+	sm.Wait()
 }
 
 // Threads returns a snapshot of all threads registered with the system.
@@ -914,21 +953,36 @@ type Thread struct {
 	// have not run yet. PendingStripes is named under generation
 	// PendingGen; PendingFull records that some accumulated commit logged
 	// no orecs (the HTM serial fallback), forcing the flush to scan every
-	// shard. PendingReadHit is set by Tx.Read when a transaction reads
-	// back into a pending stripe, requesting a flush at the attempt's end.
-	// The buffer is maintained by the condition-synchronization layer and
-	// only ever touched by the owning thread, so none of it is atomic.
-	// PendingIdle counts read-only attempts finished since the buffer
-	// started pending; the condition-synchronization layer flushes when it
-	// reaches the commit bound, so a thread that stops writing but keeps
-	// transacting cannot delay its deferred wakeups unboundedly.
+	// shard. PendingSince is the monotonic time of the buffer's first
+	// accumulation, which Config.CoalesceMaxDelay ages against.
+	//
+	// The buffer is maintained by the condition-synchronization layer.
+	// Mutations come from the owning thread, with one exception: the age
+	// backstop may claim and drain the buffer of an owner that has gone
+	// idle. PendingMu is the ownership latch both sides take around every
+	// access to the fields below it; it is uncontended in steady state
+	// (the backstop only reaches for overdue buffers), so the owner pays a
+	// single uncontended CAS per touch. PendingActive mirrors "buffer
+	// non-empty" for lock-free gating on hot paths (Tx.Read,
+	// FlushPending); it is written only with the latch held.
+	// PendingReadHit is set by Tx.Read when a transaction reads back into
+	// a pending stripe, requesting a flush at the attempt's end; it is
+	// monotonic within an attempt and read only by the owner, so it needs
+	// no latch, just atomicity. PendingIdle counts read-only attempts
+	// finished since the buffer started pending; the condition-
+	// synchronization layer flushes when it reaches the commit bound, so a
+	// thread that stops writing but keeps transacting cannot delay its
+	// deferred wakeups unboundedly.
+	PendingActive  atomic.Bool
+	PendingReadHit atomic.Bool
+	PendingMu      spin.Lock
 	PendingGen     uint64
 	PendingOrecs   []uint32
 	PendingStripes []uint32
 	PendingCommits int
 	PendingIdle    int
+	PendingSince   int64
 	PendingFull    bool
-	PendingReadHit bool
 
 	// DeferredAllocs holds allocations whose undo was postponed by a
 	// deschedule (captured-memory rule of Algorithm 6).
@@ -972,7 +1026,7 @@ func (s *System) NewThread() *Thread {
 // called from the owning thread, outside any in-flight attempt (the hook
 // runs read-only transactions on this descriptor).
 func (t *Thread) FlushPending(why FlushReason) {
-	if t.PendingCommits != 0 && t.Sys.FlushWakeups != nil {
+	if t.PendingActive.Load() && t.Sys.FlushWakeups != nil {
 		t.Sys.FlushWakeups(t, why)
 	}
 }

@@ -131,9 +131,11 @@ func TestSmokeCommands(t *testing.T) {
 		{"tmcheck", []string{"-n", "2", "-seed", "1", "-adaptive", "-resize-every", "5"}, "OK: every engine x mechanism pair matched"},
 		{"tmcheck", []string{"-n", "2", "-seed", "1", "-coalesce", "2"}, "OK: every engine x mechanism pair matched"},
 		{"tmcheck", []string{"-n", "2", "-seed", "1", "-coalesce", "8", "-adaptive"}, "OK: every engine x mechanism pair matched"},
+		{"tmcheck", []string{"-n", "2", "-seed", "1", "-coalesce", "8", "-max-delay", "2ms"}, "OK: every engine x mechanism pair matched"},
 		{"tmbench", []string{"-quick", "-threads", "1,2", "-workloads", "buffer,parsec/x264", "-out", benchOut}, "retry-orig sweep"},
 		{"tmbench", []string{"-quick", "-threads", "1,2", "-workloads", "buffer", "-mechs", "retry,await", "-orig-threads", "2", "-adaptive-threads", "2", "-no-baseline", "-out", benchOut}, "adaptive sweep"},
 		{"tmbench", []string{"-quick", "-threads", "1", "-workloads", "buffer", "-mechs", "retry", "-orig-threads", "2", "-adaptive-threads", "", "-coalesce-threads", "2", "-no-baseline", "-out", benchOut}, "coalesce sweep"},
+		{"tmbench", []string{"-quick", "-threads", "1", "-workloads", "buffer", "-mechs", "retry", "-orig-threads", "", "-adaptive-threads", "", "-coalesce-threads", "2", "-latency-threads", "2", "-max-delay", "10ms", "-no-baseline", "-diff", "", "-out", benchOut}, "latency verdict: HOLDS"},
 		{"tmcheck", []string{"-n", "1", "-seed", "2", "-inject"}, "OK: all injected violations caught"},
 		{"tmstress", []string{"-engine", "hybrid", "-mech", "retry", "-threads", "4", "-seconds", "0.3", "-cap", "2"}, "OK"},
 		{"boundedbuffer", []string{"-quick", "-engine", "eager", "-ops", "2048", "-trials", "1"}, "bounded buffer performance"},
@@ -161,6 +163,9 @@ func TestSmokeTmcheckRejectsContradictoryFlags(t *testing.T) {
 		{"-n", "1", "-unbatched", "-coalesce", "2"},
 		{"-n", "1", "-resize-every", "5"},
 		{"-n", "1", "-coalesce", "-3"},
+		{"-n", "1", "-max-delay", "2ms"},
+		{"-n", "1", "-coalesce", "2", "-max-delay", "0s"},
+		{"-n", "1", "-coalesce", "2", "-max-delay", "-1ms"},
 	} {
 		t.Run(strings.Join(args, "_"), func(t *testing.T) {
 			out, err := exec.Command(bin, args...).CombinedOutput()
