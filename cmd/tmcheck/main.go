@@ -16,6 +16,11 @@
 //	go run ./cmd/tmcheck -n 15 -adaptive        # forced online stripe resizes (1->4->64->16)
 //	go run ./cmd/tmcheck -n 15 -coalesce 8      # cross-commit wakeup coalescing (flush every 8)
 //	go run ./cmd/tmcheck -n 15 -coalesce 8 -max-delay 2ms  # with the age-bound flush armed
+//	go run ./cmd/tmcheck -n 20 -zipf 1.2        # Zipf-skewed key contention
+//	go run ./cmd/tmcheck -n 20 -read-mostly     # read-mostly long transactions
+//	go run ./cmd/tmcheck -n 10 -phases 20:counters,20:readmostly,10:map  # phase-shifting mix
+//	go run ./cmd/tmcheck -n 5 -record traces/   # capture each run as a replayable trace
+//	go run ./cmd/tmcheck -replay 'traces/*.trace'  # differential replay of recorded traces
 //
 // Mode flags are validated for coherence before anything runs: -stripes
 // pins a static count and therefore contradicts -adaptive's forced resize
@@ -23,8 +28,12 @@
 // (signal-at-claim delivery) contradicts -coalesce (a deferred scan IS a
 // batch carried across commits), and -max-delay ages the pending buffer
 // -coalesce maintains, so it requires -coalesce and a positive duration.
-// Nonsensical combinations exit 2 instead of silently running just one of
-// the modes.
+// -replay reruns committed traces, so it contradicts every flag that
+// shapes generation (-seed, -n, -threads, -ops, -zipf, -read-mostly,
+// -phases, -inject, -parsec, -record); knob flags remain allowed and
+// override the trace's stamped knobs field by field, with the merged
+// configuration re-validated. Nonsensical combinations exit 2 instead of
+// silently running just one of the modes.
 //
 // Exit status is 0 iff every execution matched its oracle (inverted under
 // -inject: the run fails if any injected fault goes undetected).
@@ -34,12 +43,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
 	"tmsync/internal/harness"
 	"tmsync/internal/locktable"
 	"tmsync/internal/mech"
+	"tmsync/internal/trace"
 )
 
 func main() {
@@ -59,6 +71,11 @@ func main() {
 	parsec := flag.Bool("parsec", false, "check the eight PARSEC skeletons instead of random scenarios")
 	scale := flag.Int("scale", 1, "PARSEC workload scale (with -parsec)")
 	inject := flag.Bool("inject", false, "inject a deliberate invariant violation into every scenario; exit 0 iff all are caught")
+	zipf := flag.Float64("zipf", 0, "Zipf exponent for key selection in generated scenarios (0 = uniform); skews contention onto a few hot keys")
+	readMostly := flag.Bool("read-mostly", false, "generate read-mostly long transactions (wide read scans with one commutative write)")
+	phases := flag.String("phases", "", "phase-shifting workload schedule `ops:mix,ops:mix,...` (mixes: "+strings.Join(harness.Mixes, ", ")+")")
+	record := flag.String("record", "", "record one execution of every scenario as a replayable trace into this `dir`")
+	replay := flag.String("replay", "", "differentially replay the traces matching this `glob` instead of generating scenarios")
 	verbose := flag.Bool("v", false, "per-scenario progress and the engine × mechanism breakdown")
 	flag.Parse()
 
@@ -67,15 +84,9 @@ func main() {
 	// cross), others contradict each other outright. The contradictions
 	// used to be accepted silently, with one flag winning arbitrarily — a
 	// green run that never tested what the invocation claimed.
-	resizeEveryExplicit, maxDelayExplicit := false, false
-	flag.Visit(func(f *flag.Flag) {
-		switch f.Name {
-		case "resize-every":
-			resizeEveryExplicit = true
-		case "max-delay":
-			maxDelayExplicit = true
-		}
-	})
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	resizeEveryExplicit, maxDelayExplicit := explicit["resize-every"], explicit["max-delay"]
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "tmcheck: "+format+"\n", args...)
 		os.Exit(2)
@@ -105,6 +116,35 @@ func main() {
 		// Fault injection rewrites generated programs; the PARSEC
 		// skeletons are fixed workloads with nothing to inject into.
 		fail("-inject applies to randomized scenarios only, not -parsec")
+	}
+	if *zipf < 0 {
+		fail("-zipf %g must be >= 0", *zipf)
+	}
+	for _, genFlag := range []string{"zipf", "read-mostly", "phases", "record"} {
+		if explicit[genFlag] && *parsec {
+			// The PARSEC skeletons are fixed workloads: nothing to skew,
+			// reshape, or record as an op program.
+			fail("-%s applies to randomized scenarios only, not -parsec", genFlag)
+		}
+	}
+	if *readMostly && *phases != "" {
+		fail("-read-mostly names a default mix and is ignored under -phases; put readmostly in the schedule instead")
+	}
+	var phaseSchedule []harness.Phase
+	if *phases != "" {
+		var err error
+		if phaseSchedule, err = harness.ParsePhases(*phases); err != nil {
+			fail("-phases: %v", err)
+		}
+	}
+	if *replay != "" {
+		// Replay reruns committed programs; every flag that shapes
+		// generation would be silently ignored, so reject the combination.
+		for _, genFlag := range []string{"seed", "n", "threads", "ops", "inject", "parsec", "scale", "zipf", "read-mostly", "phases", "record"} {
+			if explicit[genFlag] {
+				fail("-replay reruns recorded traces; -%s shapes generation and contradicts it", genFlag)
+			}
+		}
 	}
 
 	engines := harness.Engines
@@ -140,8 +180,8 @@ func main() {
 	start := time.Now()
 	scenarios := 0
 
-	runOne := func(s *harness.Scenario) {
-		results := harness.RunScenarioKnobs(s, engines, mech.Mechanism(*only), knobs)
+	runOne := func(s *harness.Scenario, k harness.Knobs) {
+		results := harness.RunScenarioKnobs(s, engines, mech.Mechanism(*only), k)
 		rep.Add(results)
 		scenarios++
 		failed := 0
@@ -158,24 +198,136 @@ func main() {
 		}
 	}
 
-	if *parsec {
+	// recordOne captures one execution of s (first selected engine, first
+	// applicable mechanism) and writes it as a trace file the -replay mode
+	// and the committed-fixture suite can rerun.
+	recordOne := func(s *harness.Scenario) {
+		recMech := harness.MechsFor(engines[0])[0]
+		if *only != "" {
+			found := false
+			for _, m := range harness.MechsFor(engines[0]) {
+				if m == mech.Mechanism(*only) {
+					found = true
+				}
+			}
+			if !found {
+				fail("-record: mechanism %q does not run on engine %q", *only, engines[0])
+			}
+			recMech = mech.Mechanism(*only)
+		}
+		tr, res, err := harness.Record(s, engines[0], recMech, knobs)
+		if err != nil {
+			fail("-record: %v", err)
+		}
+		rep.Add([]harness.Result{res})
+		if res.Failed() && !*inject {
+			fmt.Println(res.String())
+		}
+		path := filepath.Join(*record, s.Name+".trace")
+		f, err := os.Create(path)
+		if err != nil {
+			fail("-record: %v", err)
+		}
+		if err := trace.Encode(f, tr); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fail("-record: writing %s: %v", path, err)
+		}
+		if *verbose {
+			fmt.Printf("recorded %s (%d events)\n", path, len(tr.Events))
+		}
+	}
+
+	switch {
+	case *replay != "":
+		files, err := filepath.Glob(*replay)
+		if err != nil {
+			fail("-replay: bad pattern %q: %v", *replay, err)
+		}
+		if len(files) == 0 {
+			fail("-replay: %q matched no trace files", *replay)
+		}
+		sort.Strings(files)
+		for _, file := range files {
+			if *budget > 0 && time.Since(start) > *budget {
+				fmt.Printf("# budget %v exhausted before %s\n", *budget, file)
+				break
+			}
+			f, err := os.Open(file)
+			if err != nil {
+				fail("-replay: %v", err)
+			}
+			tr, err := trace.Decode(f)
+			f.Close()
+			if err != nil {
+				fail("-replay: %s: %v", file, err)
+			}
+			s, stamped, err := harness.ReplayTrace(tr)
+			if err != nil {
+				fail("-replay: %s: %v", file, err)
+			}
+			// Start from the trace's stamped knobs; explicit CLI knob flags
+			// override field by field, and the merged configuration must
+			// still be coherent — a stamp saying coalesce=8 plus an
+			// -unbatched override is as contradictory as the flag pair.
+			k := stamped
+			if explicit["stripes"] {
+				k.Stripes = knobs.Stripes
+			}
+			if explicit["unbatched"] {
+				k.Unbatched = *unbatched
+			}
+			if explicit["coalesce"] {
+				k.CoalesceCommits = *coalesce
+			}
+			if explicit["max-delay"] {
+				k.CoalesceMaxDelay = *maxDelay
+			}
+			if explicit["adaptive"] {
+				k.Stripes, k.ResizeEvery, k.ResizeSchedule = knobs.Stripes, knobs.ResizeEvery, knobs.ResizeSchedule
+			}
+			if k.Unbatched && k.CoalesceCommits > 0 {
+				fail("-replay: %s: merged knobs %q are contradictory (unbatched with coalescing)", file, harness.EncodeKnobs(k))
+			}
+			if k.CoalesceMaxDelay > 0 && k.CoalesceCommits == 0 {
+				fail("-replay: %s: merged knobs %q are contradictory (max-delay without coalescing)", file, harness.EncodeKnobs(k))
+			}
+			s.Name = filepath.Base(file)
+			runOne(s, k)
+		}
+	case *parsec:
 		for _, s := range harness.ParsecScenarios(*threads, *scale) {
 			if *budget > 0 && time.Since(start) > *budget {
 				break
 			}
-			runOne(s)
+			runOne(s, knobs)
 		}
-	} else {
+	default:
+		if *record != "" {
+			if err := os.MkdirAll(*record, 0o755); err != nil {
+				fail("-record: %v", err)
+			}
+		}
 		for i := 0; i < *n; i++ {
 			if *budget > 0 && time.Since(start) > *budget {
 				fmt.Printf("# budget %v exhausted after %d of %d scenarios\n", *budget, i, *n)
 				break
 			}
-			runOne(harness.Generate(*seed+uint64(i), harness.GenConfig{
+			s := harness.Generate(*seed+uint64(i), harness.GenConfig{
 				Threads:     *threads,
 				Ops:         *ops,
 				InjectFault: *inject,
-			}))
+				Zipf:        *zipf,
+				ReadMostly:  *readMostly,
+				Phases:      phaseSchedule,
+			})
+			runOne(s, knobs)
+			if *record != "" {
+				recordOne(s)
+			}
 		}
 	}
 

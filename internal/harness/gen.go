@@ -4,6 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
 
 	"tmsync/internal/mech"
 	"tmsync/internal/tm"
@@ -21,6 +24,116 @@ type GenConfig struct {
 	// executed program while leaving the oracle intact, so the harness's
 	// detection path itself can be exercised end to end.
 	InjectFault bool
+	// Zipf, when > 0, draws every key selection (counter indices, the
+	// per-thread map-key ranks) from a Zipf distribution with this
+	// exponent instead of uniformly: rank i is chosen with probability
+	// proportional to 1/(i+1)^Zipf, so a few hot keys absorb most of the
+	// traffic — the skewed-contention shape real workloads have and the
+	// uniform generator never produces.
+	Zipf float64
+	// ReadMostly switches the filler mix to read-mostly long
+	// transactions: most filler ops become one wide read scan over the
+	// counter array followed by a single commutative add (opReadHeavy),
+	// stressing read-set validation and wake-scan overlap instead of
+	// write contention. Ignored when Phases is set (name the mix there).
+	ReadMostly bool
+	// Phases, when non-empty, replaces the seed-derived filler with an
+	// explicit schedule: phase k contributes Ops filler operations per
+	// thread drawn from mix Mix, in order, so the workload's op-mix
+	// shifts mid-scenario. Blocking producer/consumer ops are still woven
+	// across the whole program.
+	Phases []Phase
+}
+
+// Phase is one segment of a phase-shifting workload schedule.
+type Phase struct {
+	// Ops is the number of filler operations per thread in this phase
+	// (must be positive).
+	Ops int
+	// Mix names the phase's filler distribution: "mixed" (the default
+	// generator blend), "counters" (commutative adds only), "transfers"
+	// (sum-conserving moves), "readmostly" (wide read-scan transactions),
+	// or "map" (thread-partitioned map churn).
+	Mix string
+}
+
+// Mixes lists the valid Phase.Mix names.
+var Mixes = []string{"mixed", "counters", "transfers", "readmostly", "map"}
+
+func validMix(m string) bool {
+	for _, x := range Mixes {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+// diversified reports whether any of the widened-generator knobs is on;
+// when none is, Generate takes the original draw path verbatim, so pinned
+// seeds from before the widening keep their digests.
+func (cfg GenConfig) diversified() bool {
+	return cfg.Zipf > 0 || cfg.ReadMostly || len(cfg.Phases) > 0
+}
+
+// ParsePhases parses the CLI phase-schedule syntax "ops:mix,ops:mix,..."
+// (e.g. "20:counters,20:readmostly,10:map") into a Phase slice.
+func ParsePhases(s string) ([]Phase, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty phase schedule")
+	}
+	var out []Phase
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("phase %q: want <ops>:<mix>", part)
+		}
+		n, err := strconv.Atoi(kv[0])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("phase %q: ops must be a positive integer", part)
+		}
+		if !validMix(kv[1]) {
+			return nil, fmt.Errorf("phase %q: unknown mix (have %s)", part, strings.Join(Mixes, ", "))
+		}
+		out = append(out, Phase{Ops: n, Mix: kv[1]})
+	}
+	return out, nil
+}
+
+// FormatPhases renders a schedule in the syntax ParsePhases reads.
+func FormatPhases(ph []Phase) string {
+	parts := make([]string, len(ph))
+	for i, p := range ph {
+		parts[i] = fmt.Sprintf("%d:%s", p.Ops, p.Mix)
+	}
+	return strings.Join(parts, ",")
+}
+
+// zipfDist is a deterministic Zipf sampler over n ranks: rank i has
+// weight 1/(i+1)^s. The cumulative table is built once per Generate with
+// a fixed summation order, so a pinned seed draws the same ranks forever.
+type zipfDist struct{ cum []float64 }
+
+func newZipf(n int, s float64) *zipfDist {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		cum[i] = total
+	}
+	return &zipfDist{cum: cum}
+}
+
+func (z *zipfDist) draw(r *prng) int {
+	// 53 uniform bits, scaled into [0, total); ranks are few (counters
+	// and per-thread key ranks), so a linear scan beats a binary search.
+	u := float64(r.next()>>11) / (1 << 53) * z.cum[len(z.cum)-1]
+	for i, c := range z.cum {
+		if u < c {
+			return i
+		}
+	}
+	return len(z.cum) - 1
 }
 
 // prng is splitmix64 — deterministic, seedable, and stable across Go
@@ -150,29 +263,39 @@ func Generate(seed uint64, cfg GenConfig) *Scenario {
 	if sp.hasMap {
 		sp.mapKeys = sp.threads * keysPerThread
 	}
+	var zc, zk *zipfDist
+	if cfg.Zipf > 0 {
+		zc = newZipf(sp.counters, cfg.Zipf)
+		zk = newZipf(keysPerThread, cfg.Zipf)
+	}
 	for t := 0; t < sp.threads; t++ {
-		// One guaranteed counter op per thread, making the fault-injection
-		// target unconditional (injectFault drops a counter-add).
-		filler := []op{{kind: opCounterAdd, a: uint64(r.intn(sp.counters)), b: uint64(1 + r.intn(8))}}
-		nf := 1 + r.intn(max(1, ops/2))
-		for i := 0; i < nf; i++ {
-			switch r.intn(4) {
-			case 0, 1:
-				filler = append(filler, op{kind: opCounterAdd, a: uint64(r.intn(sp.counters)), b: uint64(1 + r.intn(8))})
-			case 2:
-				from := r.intn(sp.counters)
-				to := (from + 1 + r.intn(sp.counters-1)) % sp.counters
-				filler = append(filler, op{kind: opTransfer, a: uint64(from), b: uint64(to), c: uint64(1 + r.intn(4))})
-			case 3:
-				if sp.hasMap {
-					key := uint64(t*keysPerThread + r.intn(keysPerThread) + 1)
-					if r.intn(3) == 0 {
-						filler = append(filler, op{kind: opMapDel, a: key})
+		var filler []op
+		if cfg.diversified() {
+			filler = diversifiedFiller(r, sp, cfg, t, ops, keysPerThread, zc, zk)
+		} else {
+			// One guaranteed counter op per thread, making the fault-injection
+			// target unconditional (injectFault drops a counter-add).
+			filler = []op{{kind: opCounterAdd, a: uint64(r.intn(sp.counters)), b: uint64(1 + r.intn(8))}}
+			nf := 1 + r.intn(max(1, ops/2))
+			for i := 0; i < nf; i++ {
+				switch r.intn(4) {
+				case 0, 1:
+					filler = append(filler, op{kind: opCounterAdd, a: uint64(r.intn(sp.counters)), b: uint64(1 + r.intn(8))})
+				case 2:
+					from := r.intn(sp.counters)
+					to := (from + 1 + r.intn(sp.counters-1)) % sp.counters
+					filler = append(filler, op{kind: opTransfer, a: uint64(from), b: uint64(to), c: uint64(1 + r.intn(4))})
+				case 3:
+					if sp.hasMap {
+						key := uint64(t*keysPerThread + r.intn(keysPerThread) + 1)
+						if r.intn(3) == 0 {
+							filler = append(filler, op{kind: opMapDel, a: key})
+						} else {
+							filler = append(filler, op{kind: opMapPut, a: key, b: r.next() % 1000})
+						}
 					} else {
-						filler = append(filler, op{kind: opMapPut, a: key, b: r.next() % 1000})
+						filler = append(filler, op{kind: opCounterAdd, a: uint64(r.intn(sp.counters)), b: 1})
 					}
-				} else {
-					filler = append(filler, op{kind: opCounterAdd, a: uint64(r.intn(sp.counters)), b: 1})
 				}
 			}
 		}
@@ -203,6 +326,24 @@ func Generate(seed uint64, cfg GenConfig) *Scenario {
 		}
 		replay += fmt.Sprintf("-ops %d", cfg.Ops)
 	}
+	if cfg.Zipf > 0 {
+		if replay != "" {
+			replay += " "
+		}
+		replay += fmt.Sprintf("-zipf %g", cfg.Zipf)
+	}
+	if cfg.ReadMostly && len(cfg.Phases) == 0 {
+		if replay != "" {
+			replay += " "
+		}
+		replay += "-read-mostly"
+	}
+	if len(cfg.Phases) > 0 {
+		if replay != "" {
+			replay += " "
+		}
+		replay += "-phases " + FormatPhases(cfg.Phases)
+	}
 
 	return &Scenario{
 		Name:       fmt.Sprintf("gen-%d", seed),
@@ -215,6 +356,7 @@ func Generate(seed uint64, cfg GenConfig) *Scenario {
 		Run: func(sys *tm.System, m mech.Mechanism) (Observation, error) {
 			return runSpec(runSp, sys, m)
 		},
+		sp: runSp,
 	}
 }
 
@@ -274,6 +416,94 @@ func injectFault(sp *spec) *spec {
 		}
 	}
 	return &cp
+}
+
+// diversifiedFiller is the widened-generator filler path: the same
+// guaranteed leading counter-add, then a phase schedule of mix-drawn ops.
+// Without an explicit schedule the whole filler is one phase whose mix is
+// "mixed" (or "readmostly" under cfg.ReadMostly) and whose length is the
+// seed-derived filler count the legacy path uses.
+func diversifiedFiller(r *prng, sp *spec, cfg GenConfig, t, ops, keysPerThread int, zc, zk *zipfDist) []op {
+	counterIdx := func() uint64 {
+		if zc != nil {
+			return uint64(zc.draw(r))
+		}
+		return uint64(r.intn(sp.counters))
+	}
+	filler := []op{{kind: opCounterAdd, a: counterIdx(), b: uint64(1 + r.intn(8))}}
+	phases := cfg.Phases
+	if len(phases) == 0 {
+		mix := "mixed"
+		if cfg.ReadMostly {
+			mix = "readmostly"
+		}
+		phases = []Phase{{Ops: 1 + r.intn(max(1, ops/2)), Mix: mix}}
+	}
+	for _, ph := range phases {
+		if ph.Ops <= 0 || !validMix(ph.Mix) {
+			panic(fmt.Sprintf("harness: invalid phase %+v (build schedules with ParsePhases)", ph))
+		}
+		for i := 0; i < ph.Ops; i++ {
+			filler = append(filler, mixOp(r, sp, ph.Mix, t, keysPerThread, counterIdx, zk))
+		}
+	}
+	return filler
+}
+
+// mixOp draws one filler op from the named mix. Every mix keeps the
+// oracle interleaving-independent: counter effects are commutative adds,
+// transfers conserve the sum, map keys stay thread-partitioned, and the
+// read-heavy transaction's reads feed nothing.
+func mixOp(r *prng, sp *spec, mix string, t, keysPerThread int, counterIdx func() uint64, zk *zipfDist) op {
+	counterAdd := func() op {
+		return op{kind: opCounterAdd, a: counterIdx(), b: uint64(1 + r.intn(8))}
+	}
+	transfer := func() op {
+		from := int(counterIdx())
+		to := (from + 1 + r.intn(sp.counters-1)) % sp.counters
+		return op{kind: opTransfer, a: uint64(from), b: uint64(to), c: uint64(1 + r.intn(4))}
+	}
+	readHeavy := func() op {
+		return op{kind: opReadHeavy, a: counterIdx(), b: uint64(1 + r.intn(4)), c: uint64(2 + r.intn(6))}
+	}
+	mapOp := func() op {
+		if !sp.hasMap {
+			return counterAdd()
+		}
+		rank := r.intn(keysPerThread)
+		if zk != nil {
+			rank = zk.draw(r)
+		}
+		key := uint64(t*keysPerThread + rank + 1)
+		if r.intn(3) == 0 {
+			return op{kind: opMapDel, a: key}
+		}
+		return op{kind: opMapPut, a: key, b: r.next() % 1000}
+	}
+	switch mix {
+	case "counters":
+		return counterAdd()
+	case "transfers":
+		return transfer()
+	case "readmostly":
+		if r.intn(4) == 3 {
+			return counterAdd()
+		}
+		return readHeavy()
+	case "map":
+		if r.intn(4) == 3 {
+			return counterAdd()
+		}
+		return mapOp()
+	default: // "mixed": the legacy generator blend
+		switch r.intn(4) {
+		case 0, 1:
+			return counterAdd()
+		case 2:
+			return transfer()
+		}
+		return mapOp()
+	}
 }
 
 func takeKind(put opKind) opKind {

@@ -33,6 +33,45 @@ func TestGoldenSeedDigests(t *testing.T) {
 	}
 }
 
+// goldenDiversified pins the widened-generator paths (Zipf skew,
+// read-mostly transactions, phase schedules) with their own golden
+// digests; the plain-config goldens above prove the legacy draw stream is
+// untouched when every new knob is off.
+var goldenDiversified = []struct {
+	name   string
+	seed   uint64
+	cfg    GenConfig
+	digest string
+}{
+	{name: "zipf", seed: 42, cfg: GenConfig{Zipf: 1.2}, digest: "3244d5c1f2b8ca0d"},
+	{name: "readmostly", seed: 42, cfg: GenConfig{ReadMostly: true}, digest: "06f93220c27f5dcf"},
+	{name: "phases", seed: 42, cfg: GenConfig{Phases: []Phase{{Ops: 6, Mix: "counters"}, {Ops: 6, Mix: "readmostly"}, {Ops: 4, Mix: "map"}}}, digest: "99cc6eeb8b42c358"},
+	{name: "zipf+phases", seed: 9001, cfg: GenConfig{Zipf: 0.9, Phases: []Phase{{Ops: 8, Mix: "transfers"}, {Ops: 8, Mix: "mixed"}}}, digest: "15f26a25d644282a"},
+}
+
+func TestGoldenDiversifiedDigests(t *testing.T) {
+	for _, g := range goldenDiversified {
+		s := Generate(g.seed, g.cfg)
+		if s.Digest != g.digest {
+			t.Errorf("%s (seed %d): digest %s, golden %s — generator drift; if intentional, update the golden and explain why",
+				g.name, g.seed, s.Digest, g.digest)
+		}
+	}
+}
+
+func TestDiversifiedScenariosPassDifferential(t *testing.T) {
+	// Each widened-generator shape must still hold the oracle on a real
+	// engine; one engine here keeps the test fast, CI sweeps all four.
+	for _, g := range goldenDiversified {
+		s := Generate(g.seed, g.cfg)
+		for _, res := range RunScenarioOn(s, []string{"eager"}, "tmcondvar") {
+			if res.Failed() {
+				t.Errorf("%s: %s", g.name, res.String())
+			}
+		}
+	}
+}
+
 func TestDigestDistinguishesConfigAndFault(t *testing.T) {
 	base := Generate(42, GenConfig{})
 	if got := Generate(42, GenConfig{}); got.Digest != base.Digest {

@@ -205,6 +205,12 @@ type Scenario struct {
 	// violation it detects while running (duplicate consumption,
 	// per-producer FIFO breaks, wedged workers).
 	Run func(sys *tm.System, m mech.Mechanism) (Observation, error)
+
+	// sp is the executed program in spec form, set for spec-backed
+	// scenarios (generated or trace-replayed); Record needs it to emit the
+	// program-event layer of a trace. Nil for registered workloads, which
+	// therefore cannot be recorded.
+	sp *spec
 }
 
 // Result is the outcome of one engine × mechanism execution.

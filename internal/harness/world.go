@@ -12,6 +12,7 @@ import (
 	"tmsync/internal/mech"
 	"tmsync/internal/mem"
 	"tmsync/internal/tm"
+	"tmsync/internal/trace"
 	"tmsync/internal/txds"
 )
 
@@ -34,6 +35,7 @@ const (
 	opStackPop                 // stack pop (blocks while empty)
 	opMapPut                   // map[a] = b (keys are thread-partitioned)
 	opMapDel                   // delete map[a]
+	opReadHeavy                // one long read-mostly transaction: read counters[(a+j)%len] for j in [1, c], then counters[a] += b
 )
 
 // op is one step of a thread program. Field meaning depends on kind.
@@ -185,7 +187,7 @@ type threadLog struct {
 	stackGot []uint64
 }
 
-func (w *world) runThread(thr *tm.Thread, prog []op, log *threadLog) {
+func (w *world) runThread(thr *tm.Thread, t int, prog []op, log *threadLog, rec *trace.Recorder) {
 	for _, o := range prog {
 		switch o.kind {
 		case opCounterAdd:
@@ -213,21 +215,95 @@ func (w *world) runThread(thr *tm.Thread, prog []op, log *threadLog) {
 			thr.Atomic(func(tx *tm.Tx) { w.mp.PutTx(tx, o.a, o.b) })
 		case opMapDel:
 			thr.Atomic(func(tx *tm.Tx) { w.mp.DeleteTx(tx, o.a) })
+		case opReadHeavy:
+			// The read-mostly long transaction: a wide read set over the
+			// counter array (stressing validation and wake-scan overlap)
+			// whose only effect is one commutative add, so the oracle fact
+			// stays interleaving-independent — the reads feed nothing.
+			thr.Atomic(func(tx *tm.Tx) {
+				n := uint64(w.counters.Len())
+				for j := uint64(1); j <= o.c; j++ {
+					_ = w.counters.Get(tx, int((o.a+j)%n))
+				}
+				w.counters.Set(tx, int(o.a), w.counters.Get(tx, int(o.a))+o.b)
+			})
+		}
+		if rec != nil {
+			// One group per completed op, emitted after Atomic returns:
+			// aborted attempts never duplicate program events, and each
+			// thread's groups land in its program order.
+			rec.Group(w.opEvents(t, o)...)
 		}
 	}
+}
+
+// opEvents renders one completed op as its begin..commit program-event
+// group — the exact inverse of replay's groupOp.
+func (w *world) opEvents(t int, o op) []trace.Event {
+	begin := trace.Event{Thread: t, Kind: trace.Begin}
+	commit := trace.Event{Thread: t, Kind: trace.Commit}
+	wrap := func(payload ...trace.Event) []trace.Event {
+		out := make([]trace.Event, 0, len(payload)+2)
+		out = append(out, begin)
+		out = append(out, payload...)
+		return append(out, commit)
+	}
+	switch o.kind {
+	case opCounterAdd:
+		return wrap(trace.Event{Thread: t, Kind: trace.Write, Obj: trace.Counter, K: o.a, V: o.b})
+	case opTransfer:
+		return wrap(
+			trace.Event{Thread: t, Kind: trace.Write, Obj: trace.Counter, K: o.a, V: o.c, Neg: true},
+			trace.Event{Thread: t, Kind: trace.Write, Obj: trace.Counter, K: o.b, V: o.c})
+	case opBufPut:
+		return wrap(trace.Event{Thread: t, Kind: trace.Write, Obj: trace.Buf, V: o.a})
+	case opBufGet:
+		return wrap(trace.Event{Thread: t, Kind: trace.Read, Obj: trace.Buf})
+	case opQueuePut:
+		return wrap(trace.Event{Thread: t, Kind: trace.Write, Obj: trace.Queue, V: o.a})
+	case opQueueTake:
+		return wrap(trace.Event{Thread: t, Kind: trace.Read, Obj: trace.Queue})
+	case opStackPush:
+		return wrap(trace.Event{Thread: t, Kind: trace.Write, Obj: trace.Stack, V: o.a})
+	case opStackPop:
+		return wrap(trace.Event{Thread: t, Kind: trace.Read, Obj: trace.Stack})
+	case opMapPut:
+		return wrap(trace.Event{Thread: t, Kind: trace.Write, Obj: trace.Map, K: o.a, V: o.b})
+	case opMapDel:
+		return wrap(trace.Event{Thread: t, Kind: trace.Del, Obj: trace.Map, K: o.a})
+	case opReadHeavy:
+		n := uint64(w.counters.Len())
+		payload := make([]trace.Event, 0, o.c+1)
+		for j := uint64(1); j <= o.c; j++ {
+			payload = append(payload, trace.Event{Thread: t, Kind: trace.Read, Obj: trace.Counter, K: (o.a + j) % n})
+		}
+		payload = append(payload, trace.Event{Thread: t, Kind: trace.Write, Obj: trace.Counter, K: o.a, V: o.b})
+		return wrap(payload...)
+	}
+	panic("harness: unknown op kind")
 }
 
 // runSpec executes the spec's program concurrently on sys under m,
 // checks the interleaving-independent invariants, and returns the final
 // observation.
 func runSpec(sp *spec, sys *tm.System, m mech.Mechanism) (Observation, error) {
+	return runSpecRec(sp, sys, m, nil)
+}
+
+// runSpecRec is runSpec with an optional trace recorder: each worker is
+// bound to its scenario thread index (so driver runtime events attribute
+// correctly) and emits one program-event group per completed op.
+func runSpecRec(sp *spec, sys *tm.System, m mech.Mechanism, rec *trace.Recorder) (Observation, error) {
 	w := newWorld(sp, sys, m)
 	logs := make([]threadLog, sp.threads)
 	done := make(chan int, sp.threads)
 	for t := 0; t < sp.threads; t++ {
 		go func(t int) {
 			thr := sys.NewThread()
-			w.runThread(thr, sp.programs[t], &logs[t])
+			if rec != nil {
+				rec.Bind(thr, t)
+			}
+			w.runThread(thr, t, sp.programs[t], &logs[t], rec)
 			// Teardown flush bound: with wakeup coalescing enabled a
 			// finishing worker must not strand deferred wake scans that
 			// still-blocked peers are waiting on.
@@ -423,6 +499,8 @@ func oracle(sp *spec) Observation {
 				model[o.a] = o.b
 			case opMapDel:
 				delete(model, o.a)
+			case opReadHeavy:
+				counters[o.a] += o.b
 			}
 		}
 	}

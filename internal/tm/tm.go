@@ -470,6 +470,41 @@ type abortSig struct{ reason AbortReason }
 
 type restartSig struct{}
 
+// TraceKind classifies one driver-level execution event reported to the
+// System.Tracer hook: the control transfers a transaction attempt can take
+// that are invisible to the workload itself. Committed work is not
+// reported here — a recorder sees committed operations at the workload
+// layer (where they have names), and the driver adds the dynamic events
+// only it can see.
+type TraceKind uint8
+
+const (
+	// TraceAbort reports an aborted attempt; the argument is the
+	// AbortReason, or TraceRestartArg for an explicit driver restart.
+	TraceAbort TraceKind = iota
+	// TraceBlock reports that a condition-synchronization Signal is about
+	// to put the thread to sleep (the attempt has been rolled back).
+	TraceBlock
+	// TraceWake reports that the Signal handler returned and the thread is
+	// about to re-execute its transaction body.
+	TraceWake
+	// TraceDetach reports Thread.Detach: the thread finished its program.
+	TraceDetach
+)
+
+// TraceRestartArg is the TraceAbort argument distinguishing an explicit
+// restart (Tx.Restart and friends) from the enumerated AbortReasons.
+const TraceRestartArg = uint64(AbortExplicit) + 1
+
+// Tracer receives driver-level execution events (recorded-trace capture).
+// Like PostCommit/FlushWakeups/WakeLatency it is a nil-checked hook on
+// System, installed before any thread runs and never changed afterwards;
+// implementations must be safe for concurrent use — events arrive from
+// every transacting goroutine.
+type Tracer interface {
+	TraceEvent(t *Thread, kind TraceKind, arg uint64)
+}
+
 // FlushReason says why a thread's deferred post-commit wake scans are being
 // flushed (cross-commit wakeup coalescing, Config.CoalesceCommits). The
 // driver reports the structural triggers it can see; the condition-
@@ -831,6 +866,15 @@ type System struct {
 	// the hook may run whole (read-only) transactions on the thread.
 	FlushWakeups func(t *Thread, why FlushReason)
 
+	// Tracer, if set, receives driver-level execution events — aborts,
+	// restarts, condition-synchronization blocks and wakes, and thread
+	// detach — for recorded-trace capture (internal/trace). The hot commit
+	// path is untouched: committed operations are recorded by the workload
+	// layer, which knows their names; the driver reports only the control
+	// transfers invisible to it. Nil outside recording runs, so every
+	// emission site pays one predictable branch.
+	Tracer Tracer
+
 	// WakeLatency, if set, receives the sleep-to-signal duration of every
 	// semaphore sleep — Deschedule, Retry-Orig, and condition-variable
 	// waits: the time from the waiter parking on its semaphore to the
@@ -1043,6 +1087,15 @@ func (t *Thread) Detach() {
 		return
 	}
 	t.FlushPending(FlushTeardown)
+	t.traceEvent(TraceDetach, 0)
+}
+
+// traceEvent reports one driver-level event to the system's Tracer hook;
+// the common untraced case is one load and a branch.
+func (t *Thread) traceEvent(kind TraceKind, arg uint64) {
+	if tr := t.Sys.Tracer; tr != nil {
+		tr.TraceEvent(t, kind, arg)
+	}
 }
 
 // SigReset clears the hardware signature.
@@ -1094,6 +1147,7 @@ func (t *Thread) Atomic(fn func(tx *Tx)) {
 			t.ActiveStart.Store(0)
 			tx.resetAfterAttempt(false)
 			t.recordAbort(res.reason)
+			t.traceEvent(TraceAbort, uint64(res.reason))
 			// An abort is a flush bound for coalesced wake scans: the
 			// conflict this attempt lost may be against the very threads
 			// the deferred scans would wake. Runs after the reset, so the
@@ -1106,6 +1160,7 @@ func (t *Thread) Atomic(fn func(tx *Tx)) {
 			tx.Nesting = 0
 			t.ActiveStart.Store(0)
 			tx.resetAfterAttempt(false)
+			t.traceEvent(TraceAbort, TraceRestartArg)
 			t.FlushPending(FlushAbort)
 			// Immediate re-execution; the Restart baseline relies on the
 			// lack of backoff growth here. A bare processor yield is still
@@ -1132,7 +1187,10 @@ func (t *Thread) Atomic(fn func(tx *Tx)) {
 			// holding wakeups other threads are waiting for. (The condvar
 			// handler flushes again after its own punctuation-commit scan.)
 			t.FlushPending(FlushBlock)
-			if res.sig.Handle(tx) == OutcomeRetry {
+			t.traceEvent(TraceBlock, 0)
+			out := res.sig.Handle(tx)
+			t.traceEvent(TraceWake, 0)
+			if out == OutcomeRetry {
 				t.backoff.Wait()
 			}
 		}

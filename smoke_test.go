@@ -132,6 +132,9 @@ func TestSmokeCommands(t *testing.T) {
 		{"tmcheck", []string{"-n", "2", "-seed", "1", "-coalesce", "2"}, "OK: every engine x mechanism pair matched"},
 		{"tmcheck", []string{"-n", "2", "-seed", "1", "-coalesce", "8", "-adaptive"}, "OK: every engine x mechanism pair matched"},
 		{"tmcheck", []string{"-n", "2", "-seed", "1", "-coalesce", "8", "-max-delay", "2ms"}, "OK: every engine x mechanism pair matched"},
+		{"tmcheck", []string{"-n", "2", "-seed", "1", "-zipf", "1.2"}, "OK: every engine x mechanism pair matched"},
+		{"tmcheck", []string{"-n", "2", "-seed", "1", "-read-mostly"}, "OK: every engine x mechanism pair matched"},
+		{"tmcheck", []string{"-n", "2", "-seed", "1", "-phases", "6:counters,6:readmostly,4:map"}, "OK: every engine x mechanism pair matched"},
 		{"tmbench", []string{"-quick", "-threads", "1,2", "-workloads", "buffer,parsec/x264", "-out", benchOut}, "retry-orig sweep"},
 		{"tmbench", []string{"-quick", "-threads", "1,2", "-workloads", "buffer", "-mechs", "retry,await", "-orig-threads", "2", "-adaptive-threads", "2", "-no-baseline", "-out", benchOut}, "adaptive sweep"},
 		{"tmbench", []string{"-quick", "-threads", "1", "-workloads", "buffer", "-mechs", "retry", "-orig-threads", "2", "-adaptive-threads", "", "-coalesce-threads", "2", "-no-baseline", "-out", benchOut}, "coalesce sweep"},
@@ -153,6 +156,30 @@ func TestSmokeCommands(t *testing.T) {
 	}
 }
 
+// TestSmokeTmcheckRecordReplay pins the capture→replay workflow end to
+// end through real files: record a few scenarios, replay the directory,
+// and replay again with a knob override merged over the stamp.
+func TestSmokeTmcheckRecordReplay(t *testing.T) {
+	dir := t.TempDir()
+	out := runSmoke(t, "tmcheck", "-n", "2", "-seed", "3", "-engine", "eager", "-coalesce", "2", "-record", dir)
+	if !strings.Contains(out, "OK: every engine x mechanism pair matched") {
+		t.Fatalf("record run did not pass:\n%s", out)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.trace"))
+	if err != nil || len(matches) != 2 {
+		t.Fatalf("want 2 recorded traces, got %v (err %v)", matches, err)
+	}
+	out = runSmoke(t, "tmcheck", "-replay", filepath.Join(dir, "*.trace"))
+	if !strings.Contains(out, "OK: every engine x mechanism pair matched") {
+		t.Fatalf("replay did not pass:\n%s", out)
+	}
+	// Knob override merges over the stamped coalesce=2 and must still pass.
+	out = runSmoke(t, "tmcheck", "-replay", filepath.Join(dir, "*.trace"), "-coalesce", "8", "-max-delay", "2ms")
+	if !strings.Contains(out, "OK: every engine x mechanism pair matched") {
+		t.Fatalf("replay with knob override did not pass:\n%s", out)
+	}
+}
+
 // TestSmokeTmcheckRejectsContradictoryFlags pins the CLI's mode-flag
 // validation: contradictory combinations must exit 2 with a diagnostic,
 // not silently run only one of the requested modes.
@@ -166,6 +193,21 @@ func TestSmokeTmcheckRejectsContradictoryFlags(t *testing.T) {
 		{"-n", "1", "-max-delay", "2ms"},
 		{"-n", "1", "-coalesce", "2", "-max-delay", "0s"},
 		{"-n", "1", "-coalesce", "2", "-max-delay", "-1ms"},
+		{"-zipf", "-0.5"},
+		{"-phases", "10:bogus"},
+		{"-phases", "0:counters"},
+		{"-read-mostly", "-phases", "5:counters"},
+		{"-parsec", "-zipf", "1.1"},
+		{"-parsec", "-record", "/tmp/nope"},
+		{"-replay", "x.trace", "-seed", "7"},
+		{"-replay", "x.trace", "-n", "3"},
+		{"-replay", "x.trace", "-threads", "4"},
+		{"-replay", "x.trace", "-ops", "9"},
+		{"-replay", "x.trace", "-inject"},
+		{"-replay", "x.trace", "-parsec"},
+		{"-replay", "x.trace", "-zipf", "1.1"},
+		{"-replay", "x.trace", "-record", "/tmp/nope"},
+		{"-replay", "no-such-file-anywhere.trace"},
 	} {
 		t.Run(strings.Join(args, "_"), func(t *testing.T) {
 			out, err := exec.Command(bin, args...).CombinedOutput()
