@@ -111,17 +111,80 @@ func FormatPhases(ph []Phase) string {
 
 // zipfDist is a deterministic Zipf sampler over n ranks: rank i has
 // weight 1/(i+1)^s. The cumulative table is built once per Generate with
-// a fixed summation order, so a pinned seed draws the same ranks forever.
+// a fixed summation order and portablePow (not math.Pow, whose last bits
+// may differ across architectures and Go releases), so a pinned seed
+// draws the same ranks on every platform forever.
 type zipfDist struct{ cum []float64 }
 
 func newZipf(n int, s float64) *zipfDist {
 	cum := make([]float64, n)
 	total := 0.0
 	for i := 0; i < n; i++ {
-		total += math.Pow(float64(i+1), -s)
+		total += portablePow(float64(i+1), -s)
 		cum[i] = total
 	}
 	return &zipfDist{cum: cum}
+}
+
+// portablePow returns x**y for finite x > 0 through a fixed sequence of
+// exactly-rounded IEEE-754 operations (+, -, *, /) plus the exact bit
+// manipulations Frexp/Ldexp/Floor — every one of which Go evaluates
+// bit-identically on all architectures and releases, unlike math.Pow,
+// which has per-platform assembly. The Zipf golden digests pin draws
+// derived from these weights, so they must be stable bits, not just
+// accurate values (relative error here is ~1e-15, far below what shaping
+// a sampling distribution needs).
+func portablePow(x, y float64) float64 {
+	t := y * portableLog(x)
+	if math.IsNaN(t) {
+		return t
+	}
+	if t < -745.2 { // exp underflows to 0; also keeps int(k) below in range
+		return 0
+	}
+	if t > 709.7 {
+		return math.Inf(1)
+	}
+	return portableExp(t)
+}
+
+// ln 2 split into a 32-bit head and a tail, so k*ln2Hi is exact for the
+// small k range-reduction produces.
+const (
+	ln2Hi = 6.93147180369123816490e-01
+	ln2Lo = 1.90821492927058770002e-10
+)
+
+// portableLog is the natural log for finite x > 0: Frexp-normalize into
+// m ∈ [√2/2, √2), then the atanh series log m = 2t(1 + t²/3 + t⁴/5 + …)
+// with t = (m-1)/(m+1), |t| < 0.1716, truncated where the tail is < 1 ulp.
+func portableLog(x float64) float64 {
+	m, e := math.Frexp(x)
+	if m < math.Sqrt2/2 {
+		m *= 2
+		e--
+	}
+	t := (m - 1) / (m + 1)
+	t2 := t * t
+	p := 0.0
+	for k := 27; k >= 3; k -= 2 {
+		p = p*t2 + 1/float64(k)
+	}
+	return 2*t*(1+t2*p) + float64(e)*ln2Hi + float64(e)*ln2Lo
+}
+
+// portableExp range-reduces y = k·ln2 + r with |r| ≤ ln2/2 and sums the
+// Taylor series for exp(r) with a fixed term count (tail < 1 ulp at
+// |r| ≤ 0.347), then rescales exactly with Ldexp.
+func portableExp(y float64) float64 {
+	k := math.Floor(y/math.Ln2 + 0.5)
+	r := (y - k*ln2Hi) - k*ln2Lo
+	term, sum := 1.0, 1.0
+	for i := 1; i <= 14; i++ {
+		term *= r / float64(i)
+		sum += term
+	}
+	return math.Ldexp(sum, int(k))
 }
 
 func (z *zipfDist) draw(r *prng) int {

@@ -9,11 +9,17 @@ package harness
 // replay re-executes the program, it does not re-enforce a schedule.
 //
 // Because fixtures may be written by hand, reconstruction also enforces
-// the semantic preconditions the oracle's soundness and the run's
-// termination rest on: thread-partitioned map keys, producer-encoded
-// structure values, takes covered by puts, and capacity floors. The
-// decoder cannot check these (they span events); without them a trace
-// could wedge the harness or make the oracle interleaving-dependent.
+// the semantic preconditions the oracle's soundness rests on, plus the
+// per-structure termination floors: thread-partitioned map keys,
+// producer-encoded structure values, takes covered by puts, and capacity
+// floors. The decoder cannot check these (they span events). Validation
+// is deliberately per-structure: cross-structure ordering — e.g. thread A
+// doing buffer-get then queue-put while thread B does queue-take then
+// buffer-put, a circular blocking dependency — is NOT checked, because
+// deciding that every interleaving terminates is a model-checking
+// problem. A hand-written fixture with such a cycle can still deadlock
+// at run time; the harness wedge detector (WedgeTimeout in world.go)
+// converts that into a reported wedge error rather than a hang.
 
 import (
 	"fmt"
@@ -169,8 +175,27 @@ func groupOp(sp *spec, evs []trace.Event) (op, error) {
 }
 
 // validateSpec enforces the cross-event semantic preconditions replayed
-// programs must meet (see the package comment above).
+// programs must meet (see the package comment above — per-structure
+// totals and floors only; cross-structure blocking cycles are left to
+// the run-time wedge detector).
 func validateSpec(sp *spec) error {
+	// Counter indices feed slice accesses in the oracle and the runner;
+	// the decoder bounds them already, but a spec can also arrive from a
+	// programmatically built trace, so re-check here as defense in depth.
+	for t, prog := range sp.programs {
+		for _, o := range prog {
+			var bad bool
+			switch o.kind {
+			case opCounterAdd, opReadHeavy:
+				bad = o.a >= uint64(sp.counters)
+			case opTransfer:
+				bad = o.a >= uint64(sp.counters) || o.b >= uint64(sp.counters)
+			}
+			if bad {
+				return fmt.Errorf("thread %d: counter index out of range [0, %d)", t, sp.counters)
+			}
+		}
+	}
 	type structCheck struct {
 		name     string
 		put      opKind

@@ -213,7 +213,7 @@ func (st *decodeState) line(line string) error {
 		if err != nil {
 			return errf(st.lineNo, "malformed end count %q", f[1])
 		}
-		if int(n) != len(st.tr.Events) {
+		if n != uint64(len(st.tr.Events)) {
 			return errf(st.lineNo, "truncated or corrupt: trailer says %d events, log has %d", n, len(st.tr.Events))
 		}
 		for t, open := range st.inTxn {
@@ -308,7 +308,9 @@ func (st *decodeState) event(f []string) error {
 		return errf(st.lineNo, "malformed event line")
 	}
 	tv, err := parseUint(f[1])
-	if err != nil || int(tv) >= st.tr.World.Threads {
+	// Compare in uint64 space: converting first would let indices >= 2^63
+	// wrap negative and slip past the range check into a slice index.
+	if err != nil || tv >= uint64(st.tr.World.Threads) {
 		return errf(st.lineNo, "thread %q out of range [0, %d)", f[1], st.tr.World.Threads)
 	}
 	t := int(tv)
@@ -420,7 +422,7 @@ func (st *decodeState) readOperands(ev *Event, args []string) error {
 			return errf(st.lineNo, "read c takes `<index>`")
 		}
 		idx, err := parseUint(args[1])
-		if err != nil || int(idx) >= st.tr.World.Counters {
+		if err != nil || idx >= uint64(st.tr.World.Counters) {
 			return errf(st.lineNo, "counter index %q out of range [0, %d)", args[1], st.tr.World.Counters)
 		}
 		ev.Obj, ev.K = Counter, idx
@@ -444,7 +446,7 @@ func (st *decodeState) writeOperands(ev *Event, args []string) error {
 			return errf(st.lineNo, "write c takes `<index> +|- <delta>`")
 		}
 		idx, err := parseUint(args[1])
-		if err != nil || int(idx) >= st.tr.World.Counters {
+		if err != nil || idx >= uint64(st.tr.World.Counters) {
 			return errf(st.lineNo, "counter index %q out of range [0, %d)", args[1], st.tr.World.Counters)
 		}
 		d, err := parseUint(args[3])

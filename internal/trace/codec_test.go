@@ -83,7 +83,13 @@ var decodeErrorCases = []struct {
 	{"unknown directive", "tmtrace 1\nworld threads=1 counters=1 bufcap=0 queue=0 stack=0 map=0 mapkeys=0 qcap=0 scap=0 mcap=0\nbogus line here\n", "unknown directive"},
 	{"unknown event kind", "tmtrace 1\nworld threads=1 counters=1 bufcap=0 queue=0 stack=0 map=0 mapkeys=0 qcap=0 scap=0 mcap=0\nev 0 explode\n", "unknown event kind"},
 	{"thread out of range", "tmtrace 1\nworld threads=2 counters=1 bufcap=0 queue=0 stack=0 map=0 mapkeys=0 qcap=0 scap=0 mcap=0\nev 2 begin\n", "out of range [0, 2)"},
+	// Indices >= 2^63 wrap negative if converted to int before the range
+	// check, sailing past it into a panicking slice index — the checks must
+	// compare in uint64 space.
+	{"thread index int64 overflow", "tmtrace 1\nworld threads=2 counters=1 bufcap=0 queue=0 stack=0 map=0 mapkeys=0 qcap=0 scap=0 mcap=0\nev 9223372036854775808 begin\n", "out of range [0, 2)"},
 	{"counter index out of range", "tmtrace 1\nworld threads=1 counters=2 bufcap=0 queue=0 stack=0 map=0 mapkeys=0 qcap=0 scap=0 mcap=0\nev 0 begin\nev 0 write c 2 + 1\n", "counter index"},
+	{"counter write index int64 overflow", "tmtrace 1\nworld threads=1 counters=4 bufcap=0 queue=0 stack=0 map=0 mapkeys=0 qcap=0 scap=0 mcap=0\nev 0 begin\nev 0 write c 9223372036854775808 + 1\n", "counter index"},
+	{"counter read index int64 overflow", "tmtrace 1\nworld threads=1 counters=4 bufcap=0 queue=0 stack=0 map=0 mapkeys=0 qcap=0 scap=0 mcap=0\nev 0 begin\nev 0 read c 9223372036854775808\n", "counter index"},
 	{"zero counter delta", "tmtrace 1\nworld threads=1 counters=1 bufcap=0 queue=0 stack=0 map=0 mapkeys=0 qcap=0 scap=0 mcap=0\nev 0 begin\nev 0 write c 0 + 0\n", "must be a positive integer"},
 	{"queue event without queue", "tmtrace 1\nworld threads=1 counters=1 bufcap=0 queue=0 stack=0 map=0 mapkeys=0 qcap=0 scap=0 mcap=0\nev 0 begin\nev 0 write q 1\n", "the world has no queue"},
 	{"map event without map", "tmtrace 1\nworld threads=1 counters=1 bufcap=0 queue=0 stack=0 map=0 mapkeys=0 qcap=0 scap=0 mcap=0\nev 0 begin\nev 0 write m 1 2\n", "the world has no map"},
