@@ -51,6 +51,7 @@ import (
 	"tmsync/internal/harness"
 	"tmsync/internal/locktable"
 	"tmsync/internal/mech"
+	"tmsync/internal/mono"
 	"tmsync/internal/trace"
 )
 
@@ -177,7 +178,7 @@ func main() {
 	}
 
 	var rep harness.Report
-	start := time.Now()
+	start := mono.Now()
 	scenarios := 0
 
 	runOne := func(s *harness.Scenario, k harness.Knobs) {
@@ -252,7 +253,7 @@ func main() {
 		}
 		sort.Strings(files)
 		for _, file := range files {
-			if *budget > 0 && time.Since(start) > *budget {
+			if *budget > 0 && start.Elapsed() > *budget {
 				fmt.Printf("# budget %v exhausted before %s\n", *budget, file)
 				break
 			}
@@ -300,7 +301,7 @@ func main() {
 		}
 	case *parsec:
 		for _, s := range harness.ParsecScenarios(*threads, *scale) {
-			if *budget > 0 && time.Since(start) > *budget {
+			if *budget > 0 && start.Elapsed() > *budget {
 				break
 			}
 			runOne(s, knobs)
@@ -312,7 +313,7 @@ func main() {
 			}
 		}
 		for i := 0; i < *n; i++ {
-			if *budget > 0 && time.Since(start) > *budget {
+			if *budget > 0 && start.Elapsed() > *budget {
 				fmt.Printf("# budget %v exhausted after %d of %d scenarios\n", *budget, i, *n)
 				break
 			}
@@ -332,7 +333,7 @@ func main() {
 	}
 
 	failures := rep.Failures()
-	fmt.Printf("\n# %d scenario(s), %v elapsed\n", scenarios, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("\n# %d scenario(s), %v elapsed\n", scenarios, start.Elapsed().Round(time.Millisecond))
 	fmt.Print(rep.EngineTable())
 	if rep.Runs() == 0 {
 		// An OK verdict over zero executions would be vacuous — the

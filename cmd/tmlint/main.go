@@ -1,0 +1,25 @@
+// Command tmlint runs the repo's static-analysis suite (internal/lint)
+// over the named packages. It is the CI gate for the runtime's
+// concurrency invariants: shard-lock ordering, atomic-field discipline,
+// no blocking inside transactions, monotonic measurement timing,
+// cache-line padding, and nil-guarded hooks.
+//
+// Usage:
+//
+//	tmlint ./...
+//	tmlint -list
+//	tmlint -analyzers monoclock,padcheck ./internal/core/
+//
+// Exit status: 0 if clean, 1 if violations were reported, 2 on usage or
+// load errors.
+package main
+
+import (
+	"os"
+
+	"tmsync/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -21,6 +21,7 @@ import (
 	"tmsync/internal/bench"
 	"tmsync/internal/buffer"
 	"tmsync/internal/mech"
+	"tmsync/internal/mono"
 	"tmsync/internal/tm"
 )
 
@@ -97,7 +98,7 @@ func soak(engine string, m mech.Mechanism, threads, capacity int, seconds float6
 		tmStats = s.Stats.Snapshot
 	}
 
-	start := time.Now()
+	start := mono.Now()
 	for p := 0; p < producers; p++ {
 		wgProd.Add(1)
 		go func() {
@@ -143,7 +144,7 @@ func soak(engine string, m mech.Mechanism, threads, capacity int, seconds float6
 	if tmStats != nil {
 		stats = tmStats()
 	}
-	return report(engine, m, time.Since(start), produced.Load(), consumed.Load(), stats)
+	return report(engine, m, start.Elapsed(), produced.Load(), consumed.Load(), stats)
 }
 
 func report(engine string, m mech.Mechanism, elapsed time.Duration, produced, consumed uint64, stats map[string]uint64) bool {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"tmsync"
+	"tmsync/internal/mono"
 )
 
 type buffer struct {
@@ -75,7 +76,7 @@ func runComposition(sys *tmsync.System, name string, wait func(tx *tmsync.Tx, b 
 	obs := sys.NewThread()
 	var violations atomic.Int64
 	fed := false
-	deadline := time.Now().Add(10 * time.Second)
+	start := mono.Now()
 	for {
 		var ip uint64
 		obs.Atomic(func(tx *tmsync.Tx) { ip = tx.Read(&inprogress) })
@@ -97,7 +98,7 @@ func runComposition(sys *tmsync.System, name string, wait func(tx *tmsync.Tx, b 
 			return int(violations.Load())
 		default:
 		}
-		if time.Now().After(deadline) {
+		if start.Elapsed() > 10*time.Second {
 			fmt.Printf("%-9s wedged (should not happen)\n", name+":")
 			return -1
 		}

@@ -7,11 +7,11 @@ package bench
 import (
 	"fmt"
 	"sync"
-	"time"
 
 	"tmsync"
 	"tmsync/internal/buffer"
 	"tmsync/internal/mech"
+	"tmsync/internal/mono"
 	"tmsync/internal/parsecsim"
 	"tmsync/internal/stats"
 	"tmsync/internal/tm"
@@ -74,7 +74,7 @@ func runBufferTrial(cfg BufferConfig) (float64, error) {
 	if cfg.Mech == mech.Pthreads {
 		b := buffer.NewLock(cfg.BufferSize)
 		b.Prefill(prefillVals(cfg.BufferSize))
-		start := time.Now()
+		start := mono.Now()
 		for p := 0; p < cfg.Producers; p++ {
 			wg.Add(1)
 			go func(id int) {
@@ -94,7 +94,7 @@ func runBufferTrial(cfg BufferConfig) (float64, error) {
 			}()
 		}
 		wg.Wait()
-		return time.Since(start).Seconds(), nil
+		return start.Elapsed().Seconds(), nil
 	}
 
 	sys, err := NewSystem(cfg.Engine)
@@ -103,7 +103,7 @@ func runBufferTrial(cfg BufferConfig) (float64, error) {
 	}
 	b := buffer.NewTM(cfg.BufferSize)
 	b.Prefill(prefillVals(cfg.BufferSize))
-	start := time.Now()
+	start := mono.Now()
 	for p := 0; p < cfg.Producers; p++ {
 		wg.Add(1)
 		go func(id int) {
@@ -125,7 +125,7 @@ func runBufferTrial(cfg BufferConfig) (float64, error) {
 		}()
 	}
 	wg.Wait()
-	return time.Since(start).Seconds(), nil
+	return start.Elapsed().Seconds(), nil
 }
 
 // ParsecConfig parameterizes one PARSEC-skeleton cell (Figures 2.6–2.8).
@@ -159,9 +159,9 @@ func RunParsec(cfg ParsecConfig) ([]float64, uint64, error) {
 			}
 			k.Sys = sys.System
 		}
-		start := time.Now()
+		start := mono.Now()
 		cs := b.Run(k, cfg.Threads, cfg.Scale)
-		times = append(times, time.Since(start).Seconds())
+		times = append(times, start.Elapsed().Seconds())
 		if trial == 0 {
 			sum = cs
 		} else if cs != sum {

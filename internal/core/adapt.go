@@ -181,6 +181,8 @@ func (cs *CondSync) Resize(stripes int) {
 }
 
 // resizeLocked is the epoch swap proper; the caller holds resizeMu.
+//
+//tm:lockorder-checked
 func (cs *CondSync) resizeLocked(stripes int) {
 	old := cs.tier.Load()
 	if old.view.NumStripes() == stripes {

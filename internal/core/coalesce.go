@@ -61,6 +61,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tmsync/internal/mono"
 	"tmsync/internal/sem"
 	"tmsync/internal/tm"
 )
@@ -68,9 +69,9 @@ import (
 // ageEpoch anchors the monotonic clock the age bound reads: PendingSince
 // and the backstop's deadlines are nanoseconds since this process-wide
 // instant, so comparisons never involve wall-clock time.
-var ageEpoch = time.Now()
+var ageEpoch = mono.Now()
 
-func ageNow() int64 { return int64(time.Since(ageEpoch)) }
+func ageNow() int64 { return int64(ageEpoch.Elapsed()) }
 
 // SetAgeClock replaces the monotonic clock behind the CoalesceMaxDelay age
 // bound, letting tests drive the deadline comparison, the backstop drain,

@@ -80,6 +80,8 @@ type waiterShard struct {
 // paddedShard keeps adjacent shards on distinct cache lines, so that
 // committing writers registering and scanning disjoint stripes do not
 // contend on shard metadata.
+//
+//tm:padded
 type paddedShard struct {
 	waiterShard
 	_ [(64 - unsafe.Sizeof(waiterShard{})%64) % 64]byte
@@ -96,6 +98,8 @@ type origShard struct {
 
 // paddedOrigShard keeps adjacent Retry-Orig registry shards on distinct
 // cache lines, mirroring the waiter-index layout.
+//
+//tm:padded
 type paddedOrigShard struct {
 	origShard
 	_ [(64 - unsafe.Sizeof(origShard{})%64) % 64]byte
@@ -217,6 +221,8 @@ func (cs *CondSync) shardsOf(v locktable.View, ws []tm.AddrVal) []uint32 {
 // than one at a time) means a mutation is atomic with respect to the
 // migration, which takes all of a generation's locks — a waiter can never
 // be half-inserted when its shards are carried to a new geometry.
+//
+//tm:lockorder-checked
 func (ti *tier) lockShards(ss []uint32) bool {
 	for i, s := range ss {
 		sh := &ti.shards[s].waiterShard
@@ -239,6 +245,8 @@ func (ti *tier) unlockShards(ss []uint32) {
 
 // lockOrigShards / unlockOrigShards are lockShards for the Retry-Orig
 // registry shards.
+//
+//tm:lockorder-checked
 func (ti *tier) lockOrigShards(ss []uint32) bool {
 	for i, s := range ss {
 		sh := &ti.origShards[s].origShard
@@ -264,6 +272,8 @@ func (ti *tier) unlockOrigShards(ss []uint32) {
 // a waitset value necessarily writes an address covered by one of those
 // stripes, so no wakeup can be missed); waiters without a waitset go to
 // the unindexed list scanned by every committing writer.
+//
+//tm:lockorder-checked
 func (cs *CondSync) insert(w *Waiter) {
 	if len(w.Waitset) == 0 {
 		cs.mu.Lock()
@@ -302,6 +312,8 @@ func removeFrom(ws []*Waiter, w *Waiter) []*Waiter {
 // asleep) into the current tier's shards — recomputing the shard set from
 // the waitset finds it there; a waiter whose wakeup was already claimed
 // when a migration ran was dropped by it, making this a no-op.
+//
+//tm:lockorder-checked
 func (cs *CondSync) remove(w *Waiter) {
 	if len(w.Waitset) == 0 {
 		cs.mu.Lock()
@@ -327,6 +339,8 @@ func (cs *CondSync) remove(w *Waiter) {
 // snapshotShard makes the shallow copy of one shard's waiting list that
 // wakeWaiters iterates (Algorithm 4, wakeWaiters line 1), avoiding
 // contention with concurrent inserts while predicates are evaluated.
+//
+//tm:lockorder-checked
 func (sh *waiterShard) snapshot() []*Waiter {
 	sh.mu.Lock()
 	if len(sh.waiters) == 0 {
@@ -340,6 +354,8 @@ func (sh *waiterShard) snapshot() []*Waiter {
 }
 
 // snapshotUnindexed copies the unindexed (no-waitset) waiting list.
+//
+//tm:lockorder-checked
 func (cs *CondSync) snapshotUnindexed() []*Waiter {
 	cs.mu.Lock()
 	if len(cs.waiters) == 0 {
@@ -355,6 +371,8 @@ func (cs *CondSync) snapshotUnindexed() []*Waiter {
 // WaitingLen reports the current number of distinct published waiters
 // (tests). A waiter whose waitset spans several stripes is registered on
 // each, so the shard lists are deduplicated.
+//
+//tm:lockorder-checked
 func (cs *CondSync) WaitingLen() int {
 	seen := make(map[*Waiter]struct{})
 	cs.mu.Lock()
@@ -379,6 +397,8 @@ func (cs *CondSync) WaitingLen() int {
 // several stripes is registered on each shard, so the lists are
 // deduplicated; entries already claimed by a waker but not yet purged do
 // not count.
+//
+//tm:lockorder-checked
 func (cs *CondSync) OrigWaitingLen() int {
 	seen := make(map[*origWaiter]struct{})
 	ti := cs.tier.Load()
@@ -553,6 +573,8 @@ func (cs *CondSync) tryWake(t *tm.Thread, w *Waiter, batch *sem.Batch) {
 // sharing no stripe with the lock set cannot intersect it orec-by-orec,
 // so skipping its shard loses nothing. Entries claimed through another
 // shard (or withdrawn by their owner) are purged in passing.
+//
+//tm:lockorder-checked
 func (cs *CondSync) origWake(writeOrecs []uint32, batch *sem.Batch) {
 	if len(writeOrecs) == 0 {
 		return

@@ -30,6 +30,7 @@ import (
 	"tmsync/internal/htm"
 	"tmsync/internal/hybrid"
 	"tmsync/internal/mech"
+	"tmsync/internal/mono"
 	"tmsync/internal/stm/eager"
 	"tmsync/internal/stm/lazy"
 	"tmsync/internal/tm"
@@ -300,9 +301,9 @@ func runOne(s *Scenario, oracle Observation, engine string, m mech.Mechanism, k 
 		res.Err = err
 		return res
 	}
-	start := time.Now()
+	start := mono.Now()
 	obs, err := s.Run(sys, m)
-	res.Duration = time.Since(start)
+	res.Duration = start.Elapsed()
 	res.Commits = sys.Stats.Commits.Load() + sys.Stats.ROCommits.Load()
 	res.Aborts = sys.Stats.Aborts.Load()
 	res.AbortRate = sys.Stats.AbortRate()

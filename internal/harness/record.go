@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"tmsync/internal/mech"
+	"tmsync/internal/mono"
 	"tmsync/internal/trace"
 )
 
@@ -49,9 +50,9 @@ func Record(s *Scenario, engine string, m mech.Mechanism, k Knobs) (*trace.Trace
 	}
 	rec := trace.NewRecorder(s.Name, s.Seed, EncodeKnobs(k), s.ReplayArgs, specWorld(s.sp))
 	rec.Attach(sys)
-	start := time.Now()
+	start := mono.Now()
 	obs, runErr := runSpecRec(s.sp, sys, m, rec)
-	res.Duration = time.Since(start)
+	res.Duration = start.Elapsed()
 	res.Commits = sys.Stats.Commits.Load() + sys.Stats.ROCommits.Load()
 	res.Aborts = sys.Stats.Aborts.Load()
 	res.AbortRate = sys.Stats.AbortRate()

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockOrder polices the sharded-registry locking protocol that the
+// deadlock-freedom argument in internal/core rests on:
+//
+//  1. Direct mu.Lock()/mu.TryLock() on a registry-shaped type (a struct
+//     carrying a `mu` lock beside a `waiters` slice — the waiter-index
+//     shards, the Retry-Orig registry shards, and CondSync's unindexed
+//     list) is only legal inside functions annotated
+//     //tm:lockorder-checked, the vetted helpers whose acquisition order
+//     has been argued through.
+//  2. Inside a checked helper, a loop that acquires shard locks by index
+//     must ascend: every multi-shard acquisition goes low-to-high, which
+//     (together with the migration locking every shard the same way)
+//     rules out deadlock. Descending unlock loops are fine — release
+//     order is irrelevant.
+//  3. Inside a checked helper that locks both families, every
+//     waiter-index shard lock must be acquired before any Retry-Orig
+//     registry shard lock, matching the total order resizeLocked
+//     documents (waiter shards, then orig shards, each ascending).
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "restrict direct registry-shard locking to //tm:lockorder-checked helpers with ascending, waiter-before-orig acquisition",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checked := groupHasDirective(fn.Doc, DirLockorderChecked)
+			var waiterLocks, origLocks []token.Pos
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, base, kind := shardLockCall(p, call)
+				if sel == nil {
+					return true
+				}
+				if !checked {
+					p.Reportf(call.Pos(),
+						"direct %s on a registry shard outside a //tm:lockorder-checked helper: shard acquisition order is load-bearing (see core.resizeLocked)",
+						kind)
+					return true
+				}
+				if exprMentionsOrig(base) {
+					origLocks = append(origLocks, call.Pos())
+				} else {
+					waiterLocks = append(waiterLocks, call.Pos())
+				}
+				return true
+			})
+			if !checked {
+				continue
+			}
+			// Family order: every waiter-index lock before any orig lock.
+			for _, wp := range waiterLocks {
+				for _, op := range origLocks {
+					if op < wp {
+						p.Reportf(wp,
+							"waiter-index shard lock acquired after a Retry-Orig registry shard lock: the documented total order is waiter shards first (deadlock freedom, core.resizeLocked)")
+					}
+				}
+			}
+			// Ascending loops: a for-loop that acquires shard locks must
+			// not step its index downward.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				fs, ok := n.(*ast.ForStmt)
+				if !ok || !descendingPost(fs.Post) {
+					return true
+				}
+				ast.Inspect(fs.Body, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if sel, _, kind := shardLockCall(p, call); sel != nil {
+						p.Reportf(call.Pos(),
+							"%s on a registry shard inside a descending index loop: multi-shard acquisition must ascend (deadlock freedom)", kind)
+					}
+					return true
+				})
+				return true
+			})
+		}
+	}
+}
+
+// shardLockCall matches calls of the form <base>.mu.Lock() or
+// <base>.mu.TryLock() where <base>'s type is registry-shaped. It returns
+// the mu selector, the base expression, and the method name.
+func shardLockCall(p *Pass, call *ast.CallExpr) (sel *ast.SelectorExpr, base ast.Expr, kind string) {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (fun.Sel.Name != "Lock" && fun.Sel.Name != "TryLock") {
+		return nil, nil, ""
+	}
+	mu, ok := ast.Unparen(fun.X).(*ast.SelectorExpr)
+	if !ok || mu.Sel.Name != "mu" {
+		return nil, nil, ""
+	}
+	tv, ok := p.Info.Types[mu.X]
+	if !ok || !isRegistryShaped(tv.Type, p.Pkg) {
+		return nil, nil, ""
+	}
+	return mu, mu.X, "mu." + fun.Sel.Name + "()"
+}
+
+// isRegistryShaped reports whether t (after one deref) is a struct —
+// possibly via embedding — with a slice field named `waiters` beside its
+// `mu`: the shape of the waiter-index shards, the Retry-Orig registry
+// shards, and the unindexed-waiter list head.
+func isRegistryShaped(t types.Type, from *types.Package) bool {
+	t = deref(t)
+	obj, _, _ := types.LookupFieldOrMethod(t, true, from, "waiters")
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() {
+		return false
+	}
+	_, isSlice := v.Type().Underlying().(*types.Slice)
+	return isSlice
+}
+
+// exprMentionsOrig reports whether any identifier in the expression names
+// the Retry-Orig family (contains "orig", any case) — the syntactic family
+// tag distinguishing origShards from the waiter-index shards.
+func exprMentionsOrig(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && strings.Contains(strings.ToLower(id.Name), "orig") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// descendingPost reports whether a for-loop post statement steps its
+// index downward (i-- or i -= k).
+func descendingPost(post ast.Stmt) bool {
+	switch s := post.(type) {
+	case *ast.IncDecStmt:
+		return s.Tok == token.DEC
+	case *ast.AssignStmt:
+		return s.Tok == token.SUB_ASSIGN
+	}
+	return false
+}

@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// MonoClock forbids raw time.Now / time.Since outside internal/mono. A
+// wall-clock step (NTP adjustment, suspend/resume) between a hand-rolled
+// start/elapsed pair once corrupted a committed BENCH report; all
+// duration measurement must go through the monotonic helper instead.
+// Genuine wall-clock timestamp sites (a report's Generated field) opt out
+// with a //tm:wallclock directive on, or immediately above, the call.
+var MonoClock = &Analyzer{
+	Name: "monoclock",
+	Doc:  "forbid raw time.Now/time.Since outside internal/mono (//tm:wallclock opts out)",
+	Run:  runMonoClock,
+}
+
+func runMonoClock(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(p, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			name := obj.Name()
+			if name != "Now" && name != "Since" {
+				return true
+			}
+			if p.DirectiveNear(call.Pos(), DirWallclock) {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"raw time.%s: measurement timing must go through internal/mono (annotate a genuine wall-clock site with //tm:wallclock)",
+				name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoBlockInAtomic scans every func literal passed to an Atomic(...)
+// transaction driver for actions that are not speculation-safe: a
+// transaction body may abort and re-execute any number of times, and under
+// the STM engines it runs with orec locks held, so blocking inside it —
+// channel operations, mutex acquisition, time.Sleep, semaphore waits,
+// I/O — can deadlock the system or replay a side effect. This is exactly
+// the pitfall the paper's condition-synchronization mechanisms (Retry,
+// Await, WaitPred, transactional condvars) exist to replace; those are
+// implemented as control transfers (panics) and stay legal.
+//
+// The check is syntactic over the literal's body (calls into helpers are
+// not followed); it exists to catch the common shape of the mistake, not
+// to prove its absence.
+var NoBlockInAtomic = &Analyzer{
+	Name: "noblockinatomic",
+	Doc:  "forbid channel ops, mutex locks, sleeps, semaphore waits, and I/O inside Atomic(...) closures",
+	Run:  runNoBlockInAtomic,
+}
+
+func runNoBlockInAtomic(p *Pass) {
+	reported := make(map[ast.Node]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicDriverCall(call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					scanTxBody(p, lit, reported)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicDriverCall matches calls of a function or method named Atomic —
+// the transaction drivers (tm.Thread.Atomic and the tmsync facade).
+func isAtomicDriverCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "Atomic"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "Atomic"
+	}
+	return false
+}
+
+func scanTxBody(p *Pass, lit *ast.FuncLit, reported map[ast.Node]bool) {
+	report := func(n ast.Node, what string) {
+		if reported[n] {
+			return
+		}
+		reported[n] = true
+		p.Reportf(n.Pos(),
+			"%s inside an Atomic(...) closure: transaction bodies may abort and re-execute and must not block or perform I/O (use Retry/Await/WaitPred/condvar for condition synchronization)", what)
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			report(s, "channel send")
+		case *ast.UnaryExpr:
+			if s.Op.String() == "<-" {
+				report(s, "channel receive")
+			}
+		case *ast.SelectStmt:
+			report(s, "select statement")
+			return false
+		case *ast.RangeStmt:
+			if tv, ok := p.Info.Types[s.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					report(s, "range over a channel")
+				}
+			}
+		case *ast.CallExpr:
+			if what := blockingCall(p, s); what != "" {
+				report(s, what)
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall classifies a call as a non-speculation-safe action, or
+// returns "".
+func blockingCall(p *Pass, call *ast.CallExpr) string {
+	obj := calleeObj(p, call)
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	pkg, name := obj.Pkg().Path(), obj.Name()
+	switch pkg {
+	case "time":
+		if name == "Sleep" || name == "After" || name == "Tick" {
+			return "time." + name
+		}
+	case "sync":
+		switch name {
+		case "Lock", "RLock", "Wait":
+			return "sync." + recvTypeName(p, call) + "." + name
+		}
+	case "os", "io", "bufio", "net", "net/http", "log":
+		return "I/O (" + pkg + "." + name + ")"
+	case "fmt":
+		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Scan") {
+			return "I/O (fmt." + name + ")"
+		}
+	}
+	if strings.HasSuffix(pkg, "/sem") && (name == "Wait" || name == "Acquire") {
+		return "semaphore " + name
+	}
+	if name == "SemWait" {
+		return "semaphore wait (SemWait)"
+	}
+	return ""
+}
+
+func recvTypeName(p *Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "Locker"
+	}
+	if s := p.Info.Selections[sel]; s != nil {
+		if named, ok := deref(s.Recv()).(*types.Named); ok {
+			return named.Obj().Name()
+		}
+	}
+	return "Locker"
+}

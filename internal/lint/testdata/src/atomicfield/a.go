@@ -1,0 +1,57 @@
+// Fixture for the atomicfield analyzer: a field accessed via sync/atomic
+// anywhere must be accessed atomically everywhere, and values containing
+// sync/atomic state must not be copied.
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	hits  uint64
+	other uint64
+}
+
+func bump(c *counter) uint64 {
+	atomic.AddUint64(&c.hits, 1)
+	return atomic.LoadUint64(&c.hits)
+}
+
+func mixed(c *counter) uint64 {
+	c.other = 1   // fine: other is never accessed atomically
+	return c.hits // want `mixed atomic/non-atomic access`
+}
+
+func addrEscape(c *counter) *uint64 {
+	return &c.hits // fine: taking the address reads nothing
+}
+
+type holder struct {
+	v atomic.Uint64
+}
+
+func copyValue(h *holder) {
+	x := *h // want `contains sync/atomic state`
+	use(&x)
+}
+
+func byValueParam(h holder) { // want `by-value parameter`
+	_ = h.v.Load()
+}
+
+func byPointer(h *holder) uint64 {
+	return h.v.Load()
+}
+
+func initialization() *holder {
+	return &holder{} // fine: composite literals are initialization
+}
+
+func rangeCopy(hs []holder) {
+	for i := range hs { // fine: index ranging
+		hs[i].v.Store(0)
+	}
+	for _, h := range hs { // want `range clause`
+		use(&h)
+	}
+}
+
+func use(*holder) {}

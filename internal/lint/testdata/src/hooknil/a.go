@@ -1,0 +1,71 @@
+// Fixture for the hooknil analyzer: calls through //tm:hook fields must
+// be dominated by a nil check.
+package hooknil
+
+type system struct {
+	// OnCommit is an optional observer.
+	//
+	//tm:hook
+	OnCommit func(n int)
+
+	// Required is always installed; calls need no guard.
+	Required func(n int)
+}
+
+func unguarded(s *system) {
+	s.OnCommit(1) // want `not dominated by a nil check`
+}
+
+func guardedDirect(s *system) {
+	if s.OnCommit != nil {
+		s.OnCommit(1)
+	}
+}
+
+func guardedAlias(s *system) {
+	if fn := s.OnCommit; fn != nil {
+		fn(2)
+	}
+}
+
+func guardedEarlyReturn(s *system) {
+	fn := s.OnCommit
+	if fn == nil {
+		return
+	}
+	fn(3)
+}
+
+func guardedConjunction(s *system, ready bool) {
+	if ready && s.OnCommit != nil {
+		s.OnCommit(4)
+	}
+}
+
+func unguardedAlias(s *system) {
+	fn := s.OnCommit
+	fn(5) // want `not dominated by a nil check`
+}
+
+func notAHook(s *system) {
+	s.Required(6) // fine: not annotated
+}
+
+type tracer interface {
+	Event(kind int)
+}
+
+type traced struct {
+	//tm:hook
+	Tr tracer
+}
+
+func unguardedIface(t *traced) {
+	t.Tr.Event(1) // want `not dominated by a nil check`
+}
+
+func guardedIface(t *traced) {
+	if tr := t.Tr; tr != nil {
+		tr.Event(2)
+	}
+}

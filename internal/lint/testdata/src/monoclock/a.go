@@ -1,0 +1,28 @@
+// Fixture for the monoclock analyzer: raw time.Now/time.Since are
+// measurement timing and must go through internal/mono; //tm:wallclock
+// marks genuine wall-clock sites.
+package monoclock
+
+import "time"
+
+func measure() time.Duration {
+	start := time.Now() // want `raw time\.Now`
+	work()
+	return time.Since(start) // want `raw time\.Since`
+}
+
+func work() {}
+
+func reportHeader() time.Time {
+	return time.Now() //tm:wallclock — report timestamp, not a measurement
+}
+
+func alsoFine() time.Time {
+	//tm:wallclock
+	t := time.Now()
+	return t
+}
+
+func unrelatedTimeUse() time.Duration {
+	return 5 * time.Millisecond
+}

@@ -1,0 +1,53 @@
+// Fixture for the noblockinatomic analyzer: closures handed to an
+// Atomic(...) transaction driver may abort and re-execute and must not
+// block or perform I/O.
+package noblockinatomic
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+type engine struct{}
+
+func (engine) Atomic(fn func()) { fn() }
+
+func blockingBody(e engine, mu *sync.Mutex, wg *sync.WaitGroup, ch chan int) {
+	e.Atomic(func() {
+		time.Sleep(time.Millisecond) // want `time\.Sleep`
+		mu.Lock()                    // want `sync\.Mutex\.Lock`
+		wg.Wait()                    // want `sync\.WaitGroup\.Wait`
+		ch <- 1                      // want `channel send`
+		<-ch                         // want `channel receive`
+		fmt.Println("committed?")    // want `I/O \(fmt\.Println\)`
+	})
+}
+
+func selectBody(e engine, ch chan int) {
+	e.Atomic(func() {
+		select { // want `select statement`
+		case <-ch:
+		default:
+		}
+	})
+}
+
+func rangeChanBody(e engine, ch chan int) {
+	e.Atomic(func() {
+		for range ch { // want `range over a channel`
+		}
+	})
+}
+
+func pureBody(e engine, n *int) {
+	e.Atomic(func() {
+		*n = *n + 1
+	})
+}
+
+func outsideIsFine(mu *sync.Mutex) {
+	mu.Lock()
+	time.Sleep(time.Millisecond)
+	mu.Unlock()
+}

@@ -1,0 +1,30 @@
+// Fixture for the padcheck analyzer: //tm:padded structs must be a
+// non-zero whole multiple of the 64-byte cache line.
+package padcheck
+
+//tm:padded
+type wellPadded struct {
+	n uint64
+	_ [56]byte
+}
+
+//tm:padded
+type twoLines struct {
+	a, b uint64
+	_    [112]byte
+}
+
+//tm:padded
+type tooSmall struct { // want `is 8 bytes, not a non-zero multiple`
+	n uint64
+}
+
+//tm:padded
+type empty struct{} // want `is 0 bytes, not a non-zero multiple`
+
+//tm:padded
+type notAStruct int // want `not a struct`
+
+type unannotated struct {
+	n uint64
+}

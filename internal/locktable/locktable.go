@@ -84,6 +84,8 @@ const cacheLine = 64
 // will ever use (MaxStripes), so that online stripe resizing never has to
 // move an orec word: a logical stripe is always a contiguous union of
 // chunks, and only the slot→stripe mapping (the View) changes.
+//
+//tm:padded
 type chunk struct {
 	orecs []atomic.Uint64
 	_     [(cacheLine - unsafe.Sizeof([]atomic.Uint64(nil))%cacheLine) % cacheLine]byte
@@ -312,4 +314,3 @@ func (v View) StripesOf(slots []uint32, buf []uint32) []uint32 {
 	}
 	return out
 }
-

@@ -485,7 +485,7 @@ func TestConcurrentCASExclusive(t *testing.T) {
 }
 
 func TestStripesOfDedupsAndSorts(t *testing.T) {
-	tbl := NewSharded(64, 8) // 8 slots per stripe
+	tbl := NewSharded(64, 8)                   // 8 slots per stripe
 	slots := []uint32{63, 0, 17, 7, 16, 62, 1} // stripes 7,0,2,0,2,7,0
 	got := tbl.StripesOf(slots, nil)
 	want := []uint32{0, 2, 7}
@@ -503,4 +503,3 @@ func TestStripesOfDedupsAndSorts(t *testing.T) {
 		t.Fatalf("StripesOf with reused buffer = %v, want [1]", got)
 	}
 }
-

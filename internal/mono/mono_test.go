@@ -1,0 +1,33 @@
+package mono
+
+import (
+	"testing"
+	"time"
+)
+
+func TestElapsedIsNonNegativeAndGrows(t *testing.T) {
+	start := Now()
+	if d := start.Elapsed(); d < 0 {
+		t.Fatalf("Elapsed() = %v, want >= 0", d)
+	}
+	time.Sleep(time.Millisecond)
+	if d := start.Elapsed(); d < time.Millisecond {
+		t.Fatalf("Elapsed() = %v after 1ms sleep, want >= 1ms", d)
+	}
+}
+
+func TestTimedCoversTheCallable(t *testing.T) {
+	d := Timed(func() { time.Sleep(2 * time.Millisecond) })
+	if d < 2*time.Millisecond {
+		t.Fatalf("Timed() = %v, want >= 2ms", d)
+	}
+}
+
+func TestZeroTimeElapsedClampsAtZero(t *testing.T) {
+	// The zero Time has no monotonic reading; Elapsed falls back to wall
+	// subtraction, which is huge but must never be negative.
+	var z Time
+	if d := z.Elapsed(); d < 0 {
+		t.Fatalf("zero Time Elapsed() = %v, want >= 0", d)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"tmsync/internal/harness"
 	"tmsync/internal/locktable"
 	"tmsync/internal/mech"
+	"tmsync/internal/mono"
 	"tmsync/internal/parsecsim"
 	"tmsync/internal/tm"
 )
@@ -485,15 +486,13 @@ type Report struct {
 }
 
 // runTimed executes one cell's measured section and returns its elapsed
-// wall time in seconds. All cell timing goes through this single helper —
-// time.Now captures a monotonic clock reading and time.Since subtracts on
-// it, so a wall-clock step (NTP adjustment, suspend/resume) during a cell
-// cannot corrupt the rates a committed BENCH report carries. Before it
-// existed, four scaffolds hand-rolled their own start/elapsed pairs.
+// wall time in seconds. All cell timing goes through this single helper,
+// now itself built on internal/mono's monotonic capture, so a wall-clock
+// step (NTP adjustment, suspend/resume) during a cell cannot corrupt the
+// rates a committed BENCH report carries. Before it existed, four
+// scaffolds hand-rolled their own start/elapsed pairs.
 func runTimed(fn func()) float64 {
-	start := time.Now()
-	fn()
-	return time.Since(start).Seconds()
+	return mono.Timed(fn).Seconds()
 }
 
 // mechRuns reports whether mechanism m runs on engine e.
@@ -528,7 +527,7 @@ func Run(o Options) (*Report, error) {
 	}
 	rep := &Report{
 		Schema:       Schema,
-		Generated:    time.Now().UTC().Format(time.RFC3339),
+		Generated:    time.Now().UTC().Format(time.RFC3339), //tm:wallclock — report timestamp, not a measurement
 		Seed:         o.Seed,
 		Threads:      o.Threads,
 		Engines:      o.Engines,

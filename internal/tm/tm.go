@@ -21,6 +21,7 @@ import (
 
 	"tmsync/internal/clock"
 	"tmsync/internal/locktable"
+	"tmsync/internal/mono"
 	"tmsync/internal/sem"
 	"tmsync/internal/spin"
 )
@@ -855,6 +856,8 @@ type System struct {
 	// or fall back to a full scan. The hook must treat the slices as
 	// read-only and must not retain them past its return: the driver
 	// recycles the backing arrays for the thread's next commit.
+	//
+	//tm:hook
 	PostCommit func(t *Thread, gen uint64, writeOrecs, writeStripes []uint32)
 
 	// FlushWakeups, if set, drains the thread's pending deferred wake
@@ -864,6 +867,8 @@ type System struct {
 	// without a writer commit, and before a Signal handler runs (the
 	// handler may block). Thread.FlushPending is the guarded entry point;
 	// the hook may run whole (read-only) transactions on the thread.
+	//
+	//tm:hook
 	FlushWakeups func(t *Thread, why FlushReason)
 
 	// Tracer, if set, receives driver-level execution events — aborts,
@@ -873,6 +878,8 @@ type System struct {
 	// layer, which knows their names; the driver reports only the control
 	// transfers invisible to it. Nil outside recording runs, so every
 	// emission site pays one predictable branch.
+	//
+	//tm:hook
 	Tracer Tracer
 
 	// WakeLatency, if set, receives the sleep-to-signal duration of every
@@ -883,6 +890,8 @@ type System struct {
 	// nil outside benchmarks, so the sleep paths pay one predictable
 	// branch. The callback runs on the woken thread and must be safe for
 	// concurrent use.
+	//
+	//tm:hook
 	WakeLatency func(d time.Duration)
 
 	// Ext points at the condition-synchronization layer (package core)
@@ -919,9 +928,9 @@ func NewSystem(cfg Config, mk func(*System) Engine) *System {
 // sleep sites uniformly.
 func (s *System) SemWait(sm *sem.Sem) {
 	if fn := s.WakeLatency; fn != nil {
-		t0 := time.Now()
+		t0 := mono.Now()
 		sm.Wait()
-		fn(time.Since(t0))
+		fn(t0.Elapsed())
 		return
 	}
 	sm.Wait()

@@ -144,6 +144,9 @@ func TestSmokeCommands(t *testing.T) {
 		{"boundedbuffer", []string{"-quick", "-engine", "eager", "-ops", "2048", "-trials", "1"}, "bounded buffer performance"},
 		{"parsecbench", []string{"-quick", "-engine", "lazy", "-trials", "1", "-bench", "dedup"}, "dedup"},
 		{"loctable", nil, "bodytrack"},
+		{"tmlint", []string{"./..."}, "tmlint: ok"},
+		{"tmlint", []string{"-list"}, "lockorder"},
+		{"tmlint", []string{"-analyzers", "monoclock,padcheck", "./internal/core/"}, "tmlint: ok"},
 	}
 	for _, c := range cases {
 		name := c.name + strings.Join(c.args, "_")
@@ -177,6 +180,29 @@ func TestSmokeTmcheckRecordReplay(t *testing.T) {
 	out = runSmoke(t, "tmcheck", "-replay", filepath.Join(dir, "*.trace"), "-coalesce", "8", "-max-delay", "2ms")
 	if !strings.Contains(out, "OK: every engine x mechanism pair matched") {
 		t.Fatalf("replay with knob override did not pass:\n%s", out)
+	}
+}
+
+// TestSmokeTmlintUsage pins the lint driver's CLI contract: no package
+// patterns (or an unknown analyzer name) is a usage error, exit 2, with
+// the usage text on stderr — so the CI gate can distinguish "misinvoked"
+// from "found violations" (exit 1) from "clean" (exit 0).
+func TestSmokeTmlintUsage(t *testing.T) {
+	bin := filepath.Join(smokeBinaries(t), "tmlint")
+	for _, args := range [][]string{
+		{},
+		{"-analyzers", "nosuch", "./..."},
+	} {
+		t.Run(strings.Join(args, "_"), func(t *testing.T) {
+			out, err := exec.Command(bin, args...).CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ExitCode() != 2 {
+				t.Fatalf("tmlint %v: want exit status 2, got err=%v\n%s", args, err, out)
+			}
+			if !strings.Contains(string(out), "tmlint") {
+				t.Errorf("tmlint %v: no diagnostic printed:\n%s", args, out)
+			}
+		})
 	}
 }
 
