@@ -1,31 +1,266 @@
-// Package clock provides the global logical commit clock used by the STM
+// Package clock provides the logical commit clock used by the STM
 // engines, in the style of TL2 and TinySTM: a monotonically increasing
-// counter incremented on each writer commit (and on aborts that must
-// republish lock versions).
+// counter that orders writer commits and stamps orec versions.
+//
+// The clock is pluggable. Three protocols from the TL2/TinySTM lineage
+// are provided, selected by Mode; all three expose the same Source
+// interface and are observably equivalent at the transaction level (the
+// differential harness proves this), differing only in how much traffic
+// they put on the shared clock word:
+//
+//   - Global: the classic protocol. Every writer commit (and every
+//     abort that republishes lock versions) atomically increments one
+//     shared word. Timestamps are unique, so a committer whose
+//     increment yields exactly start+1 knows nobody committed since its
+//     snapshot and may skip read-set validation. The single cache line
+//     is a scalability ceiling at high core counts.
+//
+//   - POF (GV4-style pass-on-failure): commit attempts one CAS to
+//     advance the clock; on failure it adopts the winning committer's
+//     value instead of retrying, eliminating the CAS-retry storm. Two
+//     writers may then share a timestamp. That is serializable: a
+//     conflicting pair can never share a stamp (their write-lock sets
+//     would have collided first), and an adopter's snapshot predates
+//     the shared stamp so it can never have read the winner's writes.
+//     Adopters must always validate; only a committer whose own CAS
+//     uniquely moved start to start+1 may skip validation.
+//
+//   - Deferred (GV5/TicToc-flavored): commit returns Now()+1 without
+//     touching the shared word at all, so many writers share each
+//     stamp and the clock advances only when a reader actually
+//     observes a too-new version (NoteStale) or a snapshot is
+//     extended. This trades rare extra false aborts — a reader that
+//     trips over a freshly published version must retry or extend —
+//     for near-zero clock traffic. Commit can never skip validation.
+//
+// Invariant across all modes: no published orec version ever exceeds
+// Now()+1, and a version v becomes readable without abort once
+// Now() >= v (NoteStale guarantees progress toward that under
+// Deferred).
 package clock
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
-// Clock is a monotonically increasing logical timestamp source.
-// The zero value starts at time 0 and is ready to use.
-type Clock struct {
-	now atomic.Uint64
+// Mode names a commit-timestamp protocol.
+type Mode string
+
+const (
+	// Global is the default TL2/TinySTM protocol: one atomic increment
+	// of the shared clock word per writer commit. Unique timestamps.
+	Global Mode = "global"
+	// POF is GV4-style pass-on-CAS-failure: a failed increment adopts
+	// the winner's timestamp instead of retrying.
+	POF Mode = "pof"
+	// Deferred is GV5/TicToc-flavored: commits publish at Now()+1
+	// without advancing the shared word; the clock moves only on
+	// too-new observations and snapshot extensions.
+	Deferred Mode = "deferred"
+)
+
+// Modes lists every mode, default first.
+func Modes() []Mode { return []Mode{Global, POF, Deferred} }
+
+// ParseMode validates a mode name. The empty string means Global.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case "":
+		return Global, nil
+	case Global, POF, Deferred:
+		return Mode(s), nil
+	}
+	return "", fmt.Errorf("unknown clock mode %q (want global, pof, or deferred)", s)
 }
 
-// Now returns the current logical time.
-func (c *Clock) Now() uint64 { return c.now.Load() }
+// Source is a logical commit-timestamp source. Implementations are
+// safe for concurrent use; the zero time is 0.
+type Source interface {
+	// Now returns the current logical time. Transactions snapshot it
+	// at begin.
+	Now() uint64
 
-// Inc atomically advances the clock and returns the new value, which the
-// caller owns as its commit timestamp.
-func (c *Clock) Inc() uint64 { return c.now.Add(1) }
+	// Commit returns the timestamp a writer that began at start must
+	// publish its orec versions at. exclusive reports that no other
+	// writer can have taken a timestamp in (start, end], which
+	// licenses the TL2 fast path of skipping read-set validation.
+	// Under POF and Deferred, end may be shared with concurrent
+	// committers; callers must tolerate that (the engines'
+	// "Version(w) > tx.Start" comparisons already do).
+	Commit(start uint64) (end uint64, exclusive bool)
 
-// AtLeast advances the clock to at least t. It is used when recovering
-// orec versions that must not run ahead of the clock.
-func (c *Clock) AtLeast(t uint64) {
+	// Bump advances time past versions republished outside a normal
+	// commit: rollback's version+1 lock release and the HTM serial
+	// fallback's unversioned stores. Under Deferred it is a no-op —
+	// rollback republishes at most Version+1 <= Now()+1, which that
+	// mode's invariant already permits.
+	Bump()
+
+	// NoteStale records that a transaction observed orec version v
+	// ahead of its snapshot. Global and POF ignore it (their clock
+	// already reached v when v was published); Deferred advances the
+	// clock to at least v so the retry — or an in-place timestamp
+	// extension — sees a fresh enough snapshot. Without this the
+	// deferred clock would never move and too-new aborts would loop
+	// forever.
+	NoteStale(v uint64)
+
+	// AtLeast advances the clock to at least t.
+	AtLeast(t uint64)
+
+	// Mode identifies the protocol.
+	Mode() Mode
+}
+
+// New builds a Source for mode. casRetries counts failed CASes on the
+// shared word (POF adoptions, AtLeast collisions); advances counts
+// successful advances of it. Either may be nil to discard the count;
+// tm.System wires them to Stats.ClockCASRetries / Stats.ClockAdvances.
+// Unknown modes panic — validate user input with ParseMode first.
+func New(mode Mode, casRetries, advances *atomic.Uint64) Source {
+	c := counters{retries: casRetries, advances: advances}
+	if c.retries == nil {
+		c.retries = &atomic.Uint64{}
+	}
+	if c.advances == nil {
+		c.advances = &atomic.Uint64{}
+	}
+	switch mode {
+	case "", Global:
+		return &global{c: c}
+	case POF:
+		return &pof{c: c}
+	case Deferred:
+		return &deferred{c: c}
+	}
+	panic("clock: unknown mode " + string(mode))
+}
+
+// counters aggregates shared-word traffic into the owning System's
+// stats. Both pointers are always non-nil after New.
+type counters struct {
+	retries  *atomic.Uint64 // failed CASes on the shared word
+	advances *atomic.Uint64 // successful advances of the shared word
+}
+
+// word isolates the hot shared clock word on its own cache line so the
+// counters (and anything the runtime allocates adjacently) never false-
+// share with it — the whole point of the POF/Deferred modes is to keep
+// this line quiet.
+//
+//tm:padded
+type word struct {
+	now atomic.Uint64
+	_   [56]byte
+}
+
+// atLeast CAS-advances w to at least t, feeding the traffic counters.
+// It reports whether this call moved the clock.
+func atLeast(w *word, c *counters, t uint64) bool {
 	for {
-		cur := c.now.Load()
-		if cur >= t || c.now.CompareAndSwap(cur, t) {
-			return
+		cur := w.now.Load()
+		if cur >= t {
+			return false
 		}
+		if w.now.CompareAndSwap(cur, t) {
+			c.advances.Add(1)
+			return true
+		}
+		c.retries.Add(1)
 	}
 }
+
+// global is the classic TL2 clock: Commit = fetch-and-add.
+type global struct {
+	w word
+	c counters
+}
+
+func (g *global) Mode() Mode  { return Global }
+func (g *global) Now() uint64 { return g.w.now.Load() }
+
+func (g *global) Commit(start uint64) (uint64, bool) {
+	end := g.w.now.Add(1)
+	g.c.advances.Add(1)
+	// Timestamps are unique, so end == start+1 proves no other writer
+	// committed since this transaction's snapshot.
+	return end, end == start+1
+}
+
+func (g *global) Bump() {
+	g.w.now.Add(1)
+	g.c.advances.Add(1)
+}
+
+func (g *global) NoteStale(uint64) {}
+func (g *global) AtLeast(t uint64) { atLeast(&g.w, &g.c, t) }
+
+// pof is GV4: one CAS attempt; losers adopt the winner's timestamp.
+type pof struct {
+	w word
+	c counters
+}
+
+func (p *pof) Mode() Mode  { return POF }
+func (p *pof) Now() uint64 { return p.w.now.Load() }
+
+func (p *pof) Commit(start uint64) (uint64, bool) {
+	cur := p.w.now.Load()
+	if p.w.now.CompareAndSwap(cur, cur+1) {
+		p.c.advances.Add(1)
+		// Exclusivity needs more than end == start+1 here: it needs
+		// this CAS to be the unique advance from start to start+1.
+		// Adoption can only follow some writer's successful CAS, so a
+		// clock that never left start also had no adopters in the
+		// window, and skipping validation is as sound as under Global.
+		return cur + 1, cur == start
+	}
+	// Pass on failure: somebody else just advanced the clock — share
+	// their timestamp instead of fighting for the cache line. The
+	// adopted value is at least cur+1 >= start+1 (the clock is
+	// monotonic and start <= cur), and never exclusive: a concurrent
+	// committer self-evidently exists.
+	p.c.retries.Add(1)
+	return p.w.now.Load(), false
+}
+
+func (p *pof) Bump() {
+	// Aborts republish versions at Version+1; the clock must cover
+	// them. A lost CAS means a concurrent advance already did.
+	cur := p.w.now.Load()
+	if p.w.now.CompareAndSwap(cur, cur+1) {
+		p.c.advances.Add(1)
+	} else {
+		p.c.retries.Add(1)
+	}
+}
+
+func (p *pof) NoteStale(uint64) {}
+func (p *pof) AtLeast(t uint64) { atLeast(&p.w, &p.c, t) }
+
+// deferred is GV5/TicToc-flavored: commit never touches the shared
+// word; readers that trip over fresh versions advance it via NoteStale.
+type deferred struct {
+	w word
+	c counters
+}
+
+func (d *deferred) Mode() Mode  { return Deferred }
+func (d *deferred) Now() uint64 { return d.w.now.Load() }
+
+func (d *deferred) Commit(start uint64) (uint64, bool) {
+	// Publish one past the current time. Many committers share each
+	// stamp, and end == start+1 proves nothing (nobody advances the
+	// clock on commit), so this mode never grants the fast path.
+	return d.w.now.Load() + 1, false
+}
+
+// Bump is a no-op: rollback republishes at Version+1, and every
+// published version already satisfies v <= Now()+1 in this mode, so
+// the republished versions are exactly as "one past the clock" as a
+// regular deferred commit's.
+func (d *deferred) Bump() {}
+
+func (d *deferred) NoteStale(v uint64) { atLeast(&d.w, &d.c, v) }
+func (d *deferred) AtLeast(t uint64)   { atLeast(&d.w, &d.c, t) }

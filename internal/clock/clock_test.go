@@ -2,39 +2,155 @@ package clock
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
-func TestZeroValue(t *testing.T) {
-	var c Clock
-	if c.Now() != 0 {
-		t.Fatalf("zero clock reads %d", c.Now())
+func TestParseMode(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Mode
+	}{
+		{"", Global},
+		{"global", Global},
+		{"pof", POF},
+		{"deferred", Deferred},
+	} {
+		got, err := ParseMode(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("ParseMode(bogus) did not fail")
 	}
 }
 
-func TestIncReturnsNewValue(t *testing.T) {
-	var c Clock
-	for i := uint64(1); i <= 10; i++ {
-		if got := c.Inc(); got != i {
-			t.Fatalf("Inc #%d = %d", i, got)
+func TestNewUnknownModePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(bogus) did not panic")
+		}
+	}()
+	New(Mode("bogus"), nil, nil)
+}
+
+func TestZeroTime(t *testing.T) {
+	for _, m := range Modes() {
+		if c := New(m, nil, nil); c.Now() != 0 {
+			t.Errorf("%s: fresh clock reads %d", m, c.Now())
 		}
 	}
 }
 
-func TestAtLeast(t *testing.T) {
-	var c Clock
-	c.AtLeast(100)
-	if c.Now() != 100 {
-		t.Fatalf("AtLeast(100): now=%d", c.Now())
-	}
-	c.AtLeast(50) // must not go backwards
-	if c.Now() != 100 {
-		t.Fatalf("AtLeast(50) moved clock backwards to %d", c.Now())
+func TestModeIdentity(t *testing.T) {
+	for _, m := range Modes() {
+		if got := New(m, nil, nil).Mode(); got != m {
+			t.Errorf("New(%s).Mode() = %s", m, got)
+		}
 	}
 }
 
-func TestConcurrentIncUniqueTimestamps(t *testing.T) {
-	var c Clock
+// TestAtLeastNeverRegresses covers every mode: AtLeast moves the clock
+// forward to the target and never backwards.
+func TestAtLeastNeverRegresses(t *testing.T) {
+	for _, m := range Modes() {
+		c := New(m, nil, nil)
+		c.AtLeast(100)
+		if c.Now() != 100 {
+			t.Fatalf("%s: AtLeast(100): now=%d", m, c.Now())
+		}
+		c.AtLeast(50) // must not go backwards
+		if c.Now() != 100 {
+			t.Fatalf("%s: AtLeast(50) moved clock backwards to %d", m, c.Now())
+		}
+	}
+}
+
+// TestCommitMonotonic pins the single-threaded contract of every mode:
+// Commit's end always exceeds the start it was given, and Now never
+// runs ahead of published versions by more than the mode's invariant
+// (versions <= Now()+1).
+func TestCommitMonotonic(t *testing.T) {
+	for _, m := range Modes() {
+		c := New(m, nil, nil)
+		for i := 0; i < 100; i++ {
+			start := c.Now()
+			end, _ := c.Commit(start)
+			if end <= start {
+				t.Fatalf("%s: Commit(%d) = %d, not after start", m, start, end)
+			}
+			if end > c.Now()+1 {
+				t.Fatalf("%s: end %d exceeds Now()+1 = %d", m, end, c.Now()+1)
+			}
+			// Simulate the release: published versions become visible,
+			// so a later snapshot must be able to read them eventually.
+			c.NoteStale(end)
+			if c.Now() < end && m == Deferred {
+				t.Fatalf("%s: NoteStale(%d) left clock at %d", m, end, c.Now())
+			}
+		}
+	}
+}
+
+// TestGlobalExclusiveUncontended: with no concurrent committers, every
+// global-mode commit gets the validation-skipping fast path, and
+// timestamps advance by exactly one.
+func TestGlobalExclusiveUncontended(t *testing.T) {
+	c := New(Global, nil, nil)
+	for i := uint64(1); i <= 10; i++ {
+		end, excl := c.Commit(i - 1)
+		if end != i || !excl {
+			t.Fatalf("Commit #%d = %d, exclusive=%v", i, end, excl)
+		}
+	}
+}
+
+// TestDeferredCommitQuiet: deferred commits never touch the shared
+// word — Now stays put and no advances are counted.
+func TestDeferredCommitQuiet(t *testing.T) {
+	var retries, advances atomic.Uint64
+	c := New(Deferred, &retries, &advances)
+	c.AtLeast(7)
+	advances.Store(0)
+	for i := 0; i < 100; i++ {
+		end, excl := c.Commit(7)
+		if end != 8 || excl {
+			t.Fatalf("Commit = %d, exclusive=%v; want 8, false", end, excl)
+		}
+	}
+	c.Bump() // must also stay quiet in this mode
+	if c.Now() != 7 || advances.Load() != 0 || retries.Load() != 0 {
+		t.Fatalf("deferred commit produced clock traffic: now=%d advances=%d retries=%d",
+			c.Now(), advances.Load(), retries.Load())
+	}
+}
+
+// TestCounters pins the uncontended counter semantics: every global
+// advance is counted, pof counts its successful CAS, and AtLeast on an
+// already-ahead clock counts nothing.
+func TestCounters(t *testing.T) {
+	for _, m := range []Mode{Global, POF} {
+		var retries, advances atomic.Uint64
+		c := New(m, &retries, &advances)
+		c.Commit(0)
+		c.Bump()
+		c.AtLeast(10)
+		c.AtLeast(5) // no-op: already past 5
+		if advances.Load() != 3 {
+			t.Errorf("%s: advances = %d, want 3", m, advances.Load())
+		}
+		if retries.Load() != 0 {
+			t.Errorf("%s: retries = %d, want 0", m, retries.Load())
+		}
+	}
+}
+
+// TestConcurrentCommitUniqueTimestamps is the global mode's defining
+// property: concurrent committers all receive distinct timestamps and
+// the final clock equals the number of commits.
+func TestConcurrentCommitUniqueTimestamps(t *testing.T) {
+	c := New(Global, nil, nil)
 	const goroutines = 8
 	const per = 10000
 	results := make([][]uint64, goroutines)
@@ -45,7 +161,7 @@ func TestConcurrentIncUniqueTimestamps(t *testing.T) {
 			defer wg.Done()
 			out := make([]uint64, per)
 			for i := range out {
-				out[i] = c.Inc()
+				out[i], _ = c.Commit(0)
 			}
 			results[id] = out
 		}(g)
@@ -56,7 +172,7 @@ func TestConcurrentIncUniqueTimestamps(t *testing.T) {
 		prev := uint64(0)
 		for _, v := range r {
 			if v <= prev {
-				t.Fatal("Inc not monotonic within a goroutine")
+				t.Fatal("Commit not monotonic within a goroutine")
 			}
 			prev = v
 			if seen[v] {
@@ -67,5 +183,108 @@ func TestConcurrentIncUniqueTimestamps(t *testing.T) {
 	}
 	if c.Now() != goroutines*per {
 		t.Fatalf("final clock %d, want %d", c.Now(), goroutines*per)
+	}
+}
+
+// TestPOFSharedTimestampTolerance is the pof property test from the
+// issue: hammer Commit from many goroutines, each simulating the
+// engine protocol (snapshot Now, commit, "publish" version end). The
+// published versions must never exceed the clock, per-goroutine ends
+// never regress, exclusivity is only ever granted for end == start+1,
+// and the clock's final value never exceeds the number of commits
+// (adoption means it is usually far less).
+func TestPOFSharedTimestampTolerance(t *testing.T) {
+	var retries, advances atomic.Uint64
+	c := New(POF, &retries, &advances)
+	const goroutines = 8
+	const per = 5000
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := uint64(0)
+			for i := 0; i < per; i++ {
+				start := c.Now()
+				end, excl := c.Commit(start)
+				if end <= start {
+					errs <- "end not after start"
+					return
+				}
+				if excl && end != start+1 {
+					errs <- "exclusive commit with end != start+1"
+					return
+				}
+				// The version this commit would publish must already be
+				// covered by the clock: pof only hands out end values the
+				// shared word has reached.
+				if now := c.Now(); end > now {
+					errs <- "published version ahead of the clock"
+					return
+				}
+				if end < prev {
+					errs <- "per-goroutine end regressed"
+					return
+				}
+				prev = end
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	total := uint64(goroutines * per)
+	if now := c.Now(); now > total {
+		t.Fatalf("clock %d ran ahead of %d commits", now, total)
+	}
+	if advances.Load()+retries.Load() == 0 {
+		t.Fatal("no clock traffic counted")
+	}
+}
+
+// TestNowMonotonicUnderConcurrency samples Now while other goroutines
+// drive each mode's advance paths; observed time must never decrease.
+func TestNowMonotonicUnderConcurrency(t *testing.T) {
+	for _, m := range Modes() {
+		c := New(m, nil, nil)
+		var committers sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			committers.Add(1)
+			go func() {
+				defer committers.Done()
+				for i := 0; i < 2000; i++ {
+					end, _ := c.Commit(c.Now())
+					c.NoteStale(end)
+					if i%64 == 0 {
+						c.Bump()
+					}
+				}
+			}()
+		}
+		stop := make(chan struct{})
+		samplerDone := make(chan struct{})
+		go func() {
+			defer close(samplerDone)
+			prev := uint64(0)
+			for {
+				now := c.Now()
+				if now < prev {
+					t.Errorf("%s: Now went backwards: %d after %d", m, now, prev)
+					return
+				}
+				prev = now
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+		committers.Wait()
+		close(stop)
+		<-samplerDone
 	}
 }

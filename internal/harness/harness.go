@@ -26,6 +26,7 @@ import (
 	"sort"
 	"time"
 
+	"tmsync/internal/clock"
 	"tmsync/internal/core"
 	"tmsync/internal/htm"
 	"tmsync/internal/hybrid"
@@ -79,6 +80,18 @@ type Knobs struct {
 	// observable outcomes — the property tmcheck -adaptive checks.
 	ResizeEvery    int
 	ResizeSchedule []int
+	// ClockMode selects the commit-timestamp protocol
+	// (tm.Config.ClockMode): "" or "global", "pof", "deferred". Another
+	// pure performance knob — every mode must yield identical observable
+	// outcomes, which tmcheck -clock checks across all engines and
+	// mechanisms.
+	ClockMode string
+	// TimestampExtension enables the eager engine's read-time snapshot
+	// extension (tm.Config.TimestampExtension); the other engines ignore
+	// it. Pairs naturally with the deferred clock, which turns most
+	// too-new aborts into in-place extensions. Observably inert like the
+	// rest.
+	TimestampExtension bool
 }
 
 // NewSystem builds a TM system for the named engine with condition
@@ -90,16 +103,21 @@ func NewSystem(engine string) (*tm.System, error) {
 
 // NewSystemKnobs is NewSystem with explicit performance knobs.
 func NewSystemKnobs(engine string, k Knobs) (*tm.System, error) {
+	if _, err := clock.ParseMode(k.ClockMode); err != nil {
+		return nil, fmt.Errorf("harness: %v", err)
+	}
 	cfg := tm.Config{
-		Stripes:          k.Stripes,
-		UnbatchedWakeups: k.Unbatched,
-		CoalesceCommits:  k.CoalesceCommits,
-		CoalesceMaxDelay: k.CoalesceMaxDelay,
-		MinStripes:       k.MinStripes,
-		MaxStripes:       k.MaxStripes,
-		AdaptWindow:      k.AdaptWindow,
-		ResizeEvery:      k.ResizeEvery,
-		ResizeSchedule:   k.ResizeSchedule,
+		Stripes:            k.Stripes,
+		UnbatchedWakeups:   k.Unbatched,
+		CoalesceCommits:    k.CoalesceCommits,
+		CoalesceMaxDelay:   k.CoalesceMaxDelay,
+		MinStripes:         k.MinStripes,
+		MaxStripes:         k.MaxStripes,
+		AdaptWindow:        k.AdaptWindow,
+		ResizeEvery:        k.ResizeEvery,
+		ResizeSchedule:     k.ResizeSchedule,
+		ClockMode:          k.ClockMode,
+		TimestampExtension: k.TimestampExtension,
 	}
 	var sys *tm.System
 	switch engine {

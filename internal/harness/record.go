@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"tmsync/internal/clock"
 	"tmsync/internal/mech"
 	"tmsync/internal/mono"
 	"tmsync/internal/trace"
@@ -102,6 +103,12 @@ func EncodeKnobs(k Knobs) string {
 		}
 		add("resize-schedule", strings.Join(ss, ","))
 	}
+	if k.ClockMode != "" {
+		add("clock", k.ClockMode)
+	}
+	if k.TimestampExtension {
+		add("ext", "1")
+	}
 	return strings.Join(parts, " ")
 }
 
@@ -155,6 +162,15 @@ func DecodeKnobs(s string) (Knobs, error) {
 				}
 				k.ResizeSchedule = append(k.ResizeSchedule, n)
 			}
+		case "clock":
+			if _, err = clock.ParseMode(val); err == nil {
+				k.ClockMode = val
+			}
+		case "ext":
+			if val != "1" {
+				return Knobs{}, fmt.Errorf("knob ext: want 1, got %q", val)
+			}
+			k.TimestampExtension = true
 		default:
 			return Knobs{}, fmt.Errorf("unknown knob %q", key)
 		}

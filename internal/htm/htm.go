@@ -155,6 +155,11 @@ func (e *Engine) Read(tx *tm.Tx, addr *uint64) uint64 {
 	val := atomic.LoadUint64(addr)
 	w2 := e.sys.Table.Get(idx)
 	if w1 != w2 || locktable.Locked(w1) || locktable.Version(w1) > tx.Start {
+		if w1 == w2 && !locktable.Locked(w1) {
+			// Keep a deferred clock moving so the re-executed attempt
+			// starts late enough to read this version.
+			e.sys.Clock.NoteStale(locktable.Version(w1))
+		}
 		tx.Thr.HWActive.Store(false)
 		tx.Abort(tm.AbortConflict)
 	}
@@ -207,7 +212,7 @@ func (e *Engine) Commit(tx *tm.Tx) {
 			// post-commit wakeup, so a resize since Begin aborts it too
 			// (Rollback undoes the in-place writes and releases the lock).
 			tx.RevalidateTableGen()
-			e.sys.Clock.Inc()
+			e.sys.Clock.Bump()
 			tx.Undo = tx.Undo[:0]
 		}
 		e.releaseSerial(tx)
@@ -232,8 +237,8 @@ func (e *Engine) Commit(tx *tm.Tx) {
 		tx.Locks = append(tx.Locks, idx)
 		tx.NoteWriteStripe(idx)
 	}
-	end := e.sys.Clock.Inc()
-	if end != tx.Start+1 && !e.validateReads(tx) {
+	end, exclusive := e.sys.Clock.Commit(tx.Start)
+	if !exclusive && !e.validateReads(tx) {
 		t.HWActive.Store(false)
 		tx.Abort(tm.AbortConflict)
 	}
@@ -282,7 +287,8 @@ func (e *Engine) validateReads(tx *tm.Tx) bool {
 			if locktable.Owner(w) != tx.Thr.ID || locktable.Version(w) > tx.Start {
 				return false
 			}
-		} else if locktable.Version(w) > tx.Start {
+		} else if v := locktable.Version(w); v > tx.Start {
+			e.sys.Clock.NoteStale(v)
 			return false
 		}
 	}
@@ -318,7 +324,7 @@ func (e *Engine) Rollback(tx *tm.Tx) {
 		e.sys.Table.Set(idx, locktable.UnlockedAt(locktable.Version(w)+1))
 	}
 	tx.Locks = tx.Locks[:0]
-	e.sys.Clock.Inc()
+	e.sys.Clock.Bump()
 }
 
 // AwaitSnapshot implements tm.Engine. In hardware mode escape actions are

@@ -79,20 +79,57 @@ func (e *Engine) checkHW(tx *tm.Tx) {
 }
 
 // sampleRead performs the orec/value/orec consistent read shared by both
-// modes.
-func (e *Engine) sampleRead(tx *tm.Tx, addr *uint64) (uint64, uint32) {
+// modes. In software mode a too-new version tries timestamp extension
+// (when enabled and the caller permits it) before aborting; hardware
+// attempts never extend — their start is fixed for the signature-based
+// conflict window.
+func (e *Engine) sampleRead(tx *tm.Tx, addr *uint64, extend bool) (uint64, uint32, uint64) {
 	idx := e.sys.Table.IndexOf(addr)
 	w1 := e.sys.Table.Get(idx)
 	val := atomic.LoadUint64(addr)
 	w2 := e.sys.Table.Get(idx)
-	if w1 == w2 && !locktable.Locked(w1) && locktable.Version(w1) <= tx.Start {
-		return val, idx
+	if w1 == w2 && !locktable.Locked(w1) {
+		v := locktable.Version(w1)
+		if v <= tx.Start {
+			return val, idx, v
+		}
+		// Keep a deferred clock moving so the extension (or the
+		// re-executed attempt) starts late enough to read this version.
+		e.sys.Clock.NoteStale(v)
+		// After a successful extension the consistent sample (val, v) is
+		// still current iff the orec is unchanged — versions strictly
+		// increase across lock cycles, so an equal word means no
+		// intervening commit.
+		if extend && tx.Mode != tm.ModeHW && e.sys.Cfg.TimestampExtension && e.tryExtend(tx) && e.sys.Table.Get(idx) == w1 {
+			return val, idx, v
+		}
 	}
 	if tx.Mode == tm.ModeHW {
 		tx.Thr.HWActive.Store(false)
 	}
 	tx.Abort(tm.AbortConflict)
 	panic("unreachable")
+}
+
+// tryExtend implements timestamp extension for software attempts: if
+// every prior read's orec still carries the exact version observed at
+// read time, the snapshot is valid at the current clock, so the start
+// time advances instead of aborting on a too-new read. Exact-match is
+// what keeps this sound under shared and deferred timestamps.
+func (e *Engine) tryExtend(tx *tm.Tx) bool {
+	now := e.sys.Clock.Now()
+	for i := range tx.Reads {
+		w := e.sys.Table.Get(tx.Reads[i].Orec)
+		if locktable.Locked(w) && locktable.Owner(w) != tx.Thr.ID {
+			return false
+		}
+		if locktable.Version(w) != tx.Reads[i].Ver {
+			return false
+		}
+	}
+	tx.Start = now
+	tx.Thr.ActiveStart.Store(now + 1)
+	return true
 }
 
 // Read implements tm.Engine. Both modes buffer writes, so read-after-write
@@ -104,9 +141,9 @@ func (e *Engine) Read(tx *tm.Tx, addr *uint64) uint64 {
 		if buf, ok := tx.Redo.Get(addr); ok {
 			return buf
 		}
-		val, idx := e.sampleRead(tx, addr)
+		val, idx, ver := e.sampleRead(tx, addr, false)
 		tx.Thr.SigAdd(idx)
-		tx.Reads = append(tx.Reads, tm.ReadEntry{Addr: addr, Orec: idx})
+		tx.Reads = append(tx.Reads, tm.ReadEntry{Addr: addr, Orec: idx, Ver: ver})
 		tx.HWReads++
 		if tx.HWReads > e.sys.Cfg.HTMReadCap {
 			tx.Thr.HWActive.Store(false)
@@ -115,8 +152,8 @@ func (e *Engine) Read(tx *tm.Tx, addr *uint64) uint64 {
 		return val
 	}
 	if tx.IsRetry {
-		val, idx := e.sampleRead(tx, addr)
-		tx.Reads = append(tx.Reads, tm.ReadEntry{Addr: addr, Orec: idx})
+		val, idx, ver := e.sampleRead(tx, addr, true)
+		tx.Reads = append(tx.Reads, tm.ReadEntry{Addr: addr, Orec: idx, Ver: ver})
 		tx.LogWait(addr, val)
 		if buf, ok := tx.Redo.Get(addr); ok {
 			return buf
@@ -126,8 +163,8 @@ func (e *Engine) Read(tx *tm.Tx, addr *uint64) uint64 {
 	if buf, ok := tx.Redo.Get(addr); ok {
 		return buf
 	}
-	val, idx := e.sampleRead(tx, addr)
-	tx.Reads = append(tx.Reads, tm.ReadEntry{Addr: addr, Orec: idx})
+	val, idx, ver := e.sampleRead(tx, addr, true)
+	tx.Reads = append(tx.Reads, tm.ReadEntry{Addr: addr, Orec: idx, Ver: ver})
 	return val
 }
 
@@ -178,8 +215,8 @@ func (e *Engine) Commit(tx *tm.Tx) {
 		tx.Locks = append(tx.Locks, idx)
 		tx.NoteWriteStripe(idx)
 	}
-	end := e.sys.Clock.Inc()
-	if end != tx.Start+1 && !e.validateReads(tx) {
+	end, exclusive := e.sys.Clock.Commit(tx.Start)
+	if !exclusive && !e.validateReads(tx) {
 		if hw {
 			t.HWActive.Store(false)
 		}
@@ -233,7 +270,8 @@ func (e *Engine) validateReads(tx *tm.Tx) bool {
 			if locktable.Owner(w) != tx.Thr.ID || locktable.Version(w) > tx.Start {
 				return false
 			}
-		} else if locktable.Version(w) > tx.Start {
+		} else if v := locktable.Version(w); v > tx.Start {
+			e.sys.Clock.NoteStale(v)
 			return false
 		}
 	}
@@ -255,7 +293,7 @@ func (e *Engine) Rollback(tx *tm.Tx) {
 		e.sys.Table.Set(idx, locktable.UnlockedAt(locktable.Version(w)+1))
 	}
 	tx.Locks = tx.Locks[:0]
-	e.sys.Clock.Inc()
+	e.sys.Clock.Bump()
 }
 
 // AwaitSnapshot implements tm.Engine: hardware transactions must restart
@@ -266,7 +304,9 @@ func (e *Engine) AwaitSnapshot(tx *tm.Tx, addrs []*uint64) {
 		panic("hybrid: AwaitSnapshot requires software mode")
 	}
 	for _, addr := range addrs {
-		val, _ := e.sampleRead(tx, addr)
+		// No extension here: the attempt is about to deschedule, and the
+		// waitset must stay consistent with the start the reads used.
+		val, _, _ := e.sampleRead(tx, addr, false)
 		tx.LogWait(addr, val)
 	}
 }

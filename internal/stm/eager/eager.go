@@ -65,10 +65,21 @@ func (e *Engine) Read(tx *tm.Tx, addr *uint64) uint64 {
 			}
 			return val
 		}
-		if e.sys.Cfg.TimestampExtension && e.tryExtend(tx) {
-			// The snapshot now holds at the extended start; re-read the
-			// location so its own orec is re-checked against it.
-			return e.Read(tx, addr)
+		// Too new: under a deferred clock the shared word may still be
+		// behind this version, so record the observation before the
+		// extension (or the retry after abort) resamples the clock.
+		e.sys.Clock.NoteStale(ver)
+		// After a successful extension the consistent sample (val, ver)
+		// taken above is still current iff the orec is unchanged — orec
+		// versions strictly increase across lock cycles, so an equal word
+		// means no intervening commit. Checking that (after tryExtend
+		// sampled the clock) is cheaper than re-reading the location.
+		if e.sys.Cfg.TimestampExtension && e.tryExtend(tx) && e.sys.Table.Get(idx) == w1 {
+			tx.Reads = append(tx.Reads, tm.ReadEntry{Addr: addr, Orec: idx, Ver: ver})
+			if tx.IsRetry {
+				tx.LogWait(addr, val)
+			}
+			return val
 		}
 	}
 	tx.Abort(tm.AbortConflict)
@@ -107,9 +118,13 @@ func (e *Engine) Write(tx *tm.Tx, addr *uint64, val uint64) {
 		atomic.StoreUint64(addr, val)
 		return
 	}
-	if !locktable.Locked(w) &&
-		(locktable.Version(w) <= tx.Start || (e.sys.Cfg.TimestampExtension && e.tryExtend(tx))) {
-		if e.sys.Table.CAS(idx, w, locktable.LockedBy(tx.Thr.ID, locktable.Version(w))) {
+	if !locktable.Locked(w) {
+		ok := locktable.Version(w) <= tx.Start
+		if !ok {
+			e.sys.Clock.NoteStale(locktable.Version(w))
+			ok = e.sys.Cfg.TimestampExtension && e.tryExtend(tx)
+		}
+		if ok && e.sys.Table.CAS(idx, w, locktable.LockedBy(tx.Thr.ID, locktable.Version(w))) {
 			tx.Locks = append(tx.Locks, idx)
 			tx.NoteWriteStripe(idx)
 			tx.Undo = append(tx.Undo, tm.UndoEntry{Addr: addr, Old: atomic.LoadUint64(addr)})
@@ -122,14 +137,15 @@ func (e *Engine) Write(tx *tm.Tx, addr *uint64, val uint64) {
 
 // Commit implements Algorithm 9's TxCommit: read-only transactions commit
 // for free; writers take a commit timestamp, validate their read set
-// (with the end == start+1 fast path), release locks at the new version,
-// and quiesce for privatization safety.
+// (unless the clock proves exclusivity — the TL2 end == start+1 fast
+// path), release locks at the new version, and quiesce for privatization
+// safety.
 func (e *Engine) Commit(tx *tm.Tx) {
 	if len(tx.Locks) == 0 {
 		return
 	}
-	end := e.sys.Clock.Inc()
-	if end != tx.Start+1 && !e.validateReads(tx) {
+	end, exclusive := e.sys.Clock.Commit(tx.Start)
+	if !exclusive && !e.validateReads(tx) {
 		tx.Abort(tm.AbortConflict)
 	}
 	// An online stripe resize since Begin invalidates the attempt's
@@ -156,7 +172,8 @@ func (e *Engine) validateReads(tx *tm.Tx) bool {
 			if locktable.Owner(w) != tx.Thr.ID {
 				return false
 			}
-		} else if locktable.Version(w) > tx.Start {
+		} else if v := locktable.Version(w); v > tx.Start {
+			e.sys.Clock.NoteStale(v)
 			return false
 		}
 	}
@@ -168,9 +185,9 @@ func (e *Engine) Validate(tx *tm.Tx) bool { return e.validateReads(tx) }
 
 // Rollback implements Algorithm 11's TxAbort: undo writes in reverse,
 // release locks with an incremented version so concurrent TxReads notice,
-// and bump the clock once so released versions remain legal. It is safe to
-// call when the undo log has already been applied (AwaitSnapshot) and is
-// idempotent across repeated calls.
+// and bump the clock once so released versions remain legal under the
+// active clock mode. It is safe to call when the undo log has already
+// been applied (AwaitSnapshot) and is idempotent across repeated calls.
 func (e *Engine) Rollback(tx *tm.Tx) {
 	for i := len(tx.Undo) - 1; i >= 0; i-- {
 		atomic.StoreUint64(tx.Undo[i].Addr, tx.Undo[i].Old)
@@ -184,7 +201,7 @@ func (e *Engine) Rollback(tx *tm.Tx) {
 		e.sys.Table.Set(idx, locktable.UnlockedAt(locktable.Version(w)+1))
 	}
 	tx.Locks = tx.Locks[:0]
-	e.sys.Clock.Inc()
+	e.sys.Clock.Bump()
 }
 
 // AwaitSnapshot implements the Await re-read step (Algorithm 6): undo the
@@ -207,9 +224,15 @@ func (e *Engine) AwaitSnapshot(tx *tm.Tx, addrs []*uint64) {
 			continue
 		}
 		w2 := e.sys.Table.Get(idx)
-		if w1 == w2 && !locktable.Locked(w1) && locktable.Version(w1) <= tx.Start {
-			tx.LogWait(addr, val)
-			continue
+		if w1 == w2 && !locktable.Locked(w1) {
+			if v := locktable.Version(w1); v <= tx.Start {
+				tx.LogWait(addr, val)
+				continue
+			} else {
+				// Keep a deferred clock moving so the re-executed
+				// attempt starts late enough to read this address.
+				e.sys.Clock.NoteStale(v)
+			}
 		}
 		tx.Abort(tm.AbortConflict)
 	}

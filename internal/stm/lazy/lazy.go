@@ -32,17 +32,59 @@ func (e *Engine) Begin(tx *tm.Tx) {
 }
 
 // sampleRead performs a consistent read of committed memory: orec, value,
-// orec again, unlocked and no newer than the transaction's start.
-func (e *Engine) sampleRead(tx *tm.Tx, addr *uint64) (uint64, uint32) {
+// orec again, unlocked and no newer than the transaction's start. A
+// too-new version first tries timestamp extension (when enabled and the
+// caller permits it) before aborting: under the deferred clock every
+// fresh version is "too new" for a start sampled from a word that never
+// moved, and extension is what keeps that from costing an abort per
+// dependent read.
+func (e *Engine) sampleRead(tx *tm.Tx, addr *uint64, extend bool) (uint64, uint32, uint64) {
 	idx := e.sys.Table.IndexOf(addr)
 	w1 := e.sys.Table.Get(idx)
 	val := atomic.LoadUint64(addr)
 	w2 := e.sys.Table.Get(idx)
-	if w1 == w2 && !locktable.Locked(w1) && locktable.Version(w1) <= tx.Start {
-		return val, idx
+	if w1 == w2 && !locktable.Locked(w1) {
+		v := locktable.Version(w1)
+		if v <= tx.Start {
+			return val, idx, v
+		}
+		// Keep a deferred clock moving so the extension (or the
+		// re-executed attempt) starts late enough to read this version.
+		e.sys.Clock.NoteStale(v)
+		// After a successful extension the consistent sample (val, v) is
+		// still current iff the orec is unchanged — versions strictly
+		// increase across lock cycles, so an equal word means no
+		// intervening commit. Checking that (after tryExtend sampled the
+		// clock) is cheaper than re-sampling the location.
+		if extend && e.sys.Cfg.TimestampExtension && e.tryExtend(tx) && e.sys.Table.Get(idx) == w1 {
+			return val, idx, v
+		}
 	}
 	tx.Abort(tm.AbortConflict)
 	panic("unreachable")
+}
+
+// tryExtend implements timestamp extension for the redo-log TM: if every
+// prior read's orec still carries the exact version observed at read
+// time, the buffered values are all current at the present clock, so the
+// start time may advance instead of aborting on a too-new read. The
+// exact-match comparison is what makes this sound under shared and
+// deferred timestamps: a version that merely stayed <= the new start
+// could still have been republished by an intervening commit.
+func (e *Engine) tryExtend(tx *tm.Tx) bool {
+	now := e.sys.Clock.Now()
+	for i := range tx.Reads {
+		w := e.sys.Table.Get(tx.Reads[i].Orec)
+		if locktable.Locked(w) && locktable.Owner(w) != tx.Thr.ID {
+			return false
+		}
+		if locktable.Version(w) != tx.Reads[i].Ver {
+			return false
+		}
+	}
+	tx.Start = now
+	tx.Thr.ActiveStart.Store(now + 1)
+	return true
 }
 
 // Read returns the transaction's own buffered write if one exists,
@@ -52,8 +94,8 @@ func (e *Engine) sampleRead(tx *tm.Tx, addr *uint64) (uint64, uint32) {
 // speculative (out-of-thin-air) values.
 func (e *Engine) Read(tx *tm.Tx, addr *uint64) uint64 {
 	if tx.IsRetry {
-		val, idx := e.sampleRead(tx, addr)
-		tx.Reads = append(tx.Reads, tm.ReadEntry{Addr: addr, Orec: idx})
+		val, idx, ver := e.sampleRead(tx, addr, true)
+		tx.Reads = append(tx.Reads, tm.ReadEntry{Addr: addr, Orec: idx, Ver: ver})
 		tx.LogWait(addr, val)
 		if buf, ok := tx.Redo.Get(addr); ok {
 			return buf
@@ -63,8 +105,8 @@ func (e *Engine) Read(tx *tm.Tx, addr *uint64) uint64 {
 	if buf, ok := tx.Redo.Get(addr); ok {
 		return buf
 	}
-	val, idx := e.sampleRead(tx, addr)
-	tx.Reads = append(tx.Reads, tm.ReadEntry{Addr: addr, Orec: idx})
+	val, idx, ver := e.sampleRead(tx, addr, true)
+	tx.Reads = append(tx.Reads, tm.ReadEntry{Addr: addr, Orec: idx, Ver: ver})
 	return val
 }
 
@@ -74,9 +116,10 @@ func (e *Engine) Write(tx *tm.Tx, addr *uint64, val uint64) {
 }
 
 // Commit implements TL2-style two-phase commit: acquire the write set's
-// orecs with CAS, take a commit timestamp, validate the read set (with the
-// start+1 fast path), write back the redo log, and release the locks at
-// the commit time. Read-only transactions commit for free.
+// orecs with CAS, take a commit timestamp, validate the read set (unless
+// the clock proves exclusivity — the start+1 fast path), write back the
+// redo log, and release the locks at the commit time. Read-only
+// transactions commit for free.
 func (e *Engine) Commit(tx *tm.Tx) {
 	if tx.Redo.Len() == 0 {
 		return
@@ -93,8 +136,8 @@ func (e *Engine) Commit(tx *tm.Tx) {
 		tx.Locks = append(tx.Locks, idx)
 		tx.NoteWriteStripe(idx)
 	}
-	end := e.sys.Clock.Inc()
-	if end != tx.Start+1 && !e.validateReads(tx) {
+	end, exclusive := e.sys.Clock.Commit(tx.Start)
+	if !exclusive && !e.validateReads(tx) {
 		tx.Abort(tm.AbortConflict)
 	}
 	// An online stripe resize since Begin invalidates the attempt's
@@ -135,7 +178,8 @@ func (e *Engine) validateReads(tx *tm.Tx) bool {
 			if locktable.Owner(w) != tx.Thr.ID || locktable.Version(w) > tx.Start {
 				return false
 			}
-		} else if locktable.Version(w) > tx.Start {
+		} else if v := locktable.Version(w); v > tx.Start {
+			e.sys.Clock.NoteStale(v)
 			return false
 		}
 	}
@@ -157,7 +201,7 @@ func (e *Engine) Rollback(tx *tm.Tx) {
 		e.sys.Table.Set(idx, locktable.UnlockedAt(locktable.Version(w)+1))
 	}
 	tx.Locks = tx.Locks[:0]
-	e.sys.Clock.Inc()
+	e.sys.Clock.Bump()
 }
 
 // AwaitSnapshot implements the Await re-read (Algorithm 6) for a lazy TM:
@@ -166,7 +210,9 @@ func (e *Engine) Rollback(tx *tm.Tx) {
 // transaction's start time — and logged to the waitset.
 func (e *Engine) AwaitSnapshot(tx *tm.Tx, addrs []*uint64) {
 	for _, addr := range addrs {
-		val, _ := e.sampleRead(tx, addr)
+		// No extension here: the attempt is about to deschedule, and the
+		// waitset must stay consistent with the start the reads used.
+		val, _, _ := e.sampleRead(tx, addr, false)
 		tx.LogWait(addr, val)
 	}
 }

@@ -600,6 +600,18 @@ type Stats struct {
 	FlushReasonRead     atomic.Uint64
 	FlushReasonAge      atomic.Uint64
 	FlushReasonTeardown atomic.Uint64
+
+	// ClockAdvances counts successful advances of the shared commit-clock
+	// word: global-mode increments (one per writer commit and rollback),
+	// pof-mode won CASes, and deferred-mode NoteStale/AtLeast raises.
+	// ClockCASRetries counts failed CASes on that word: pof adoptions
+	// (commits that shared the winner's timestamp instead of retrying)
+	// and AtLeast collisions. Together they make commit-clock cache-line
+	// traffic observable per run instead of merely inferable from
+	// throughput; (advances + retries) / commits is the per-commit
+	// shared-word cost the non-global Config.ClockMode protocols reduce.
+	ClockAdvances   atomic.Uint64
+	ClockCASRetries atomic.Uint64
 }
 
 // Attempts returns the total number of finished transaction attempts
@@ -646,6 +658,8 @@ func (s *Stats) Snapshot() map[string]uint64 {
 		"flush_read":        s.FlushReasonRead.Load(),
 		"flush_age":         s.FlushReasonAge.Load(),
 		"flush_teardown":    s.FlushReasonTeardown.Load(),
+		"clock_advances":    s.ClockAdvances.Load(),
+		"clock_cas_retries": s.ClockCASRetries.Load(),
 	}
 }
 
@@ -701,6 +715,21 @@ type Config struct {
 	// revalidating the read set at the current clock (Riegel et al. [22];
 	// Appendix A notes the abort-on-too-new default is conservative).
 	TimestampExtension bool
+	// ClockMode selects the commit-timestamp protocol: "global" (the
+	// default, also selected by ""; one atomic increment of the shared
+	// clock word per writer commit), "pof" (GV4 pass-on-CAS-failure:
+	// losers adopt the winner's timestamp instead of retrying), or
+	// "deferred" (GV5/TicToc-flavored: commits publish at Now()+1
+	// without touching the shared word, which advances only when a
+	// reader observes a too-new version). See internal/clock for the
+	// protocol and soundness notes. Like the wakeup knobs this is a pure
+	// performance knob — every mode must yield identical observable
+	// outcomes, which the differential harness checks across all
+	// engines and mechanisms (tmcheck -clock). "deferred" trades the
+	// quietest clock line for occasional extra false aborts when a
+	// reader lands on a freshly published version; TimestampExtension
+	// turns most of those aborts into in-place snapshot extensions.
+	ClockMode string
 	// HTMReadCap / HTMWriteCap bound the simulated hardware read and write
 	// sets, in words. 0 selects the defaults (4096 / 448).
 	HTMReadCap, HTMWriteCap int
@@ -831,6 +860,9 @@ func (c Config) withDefaults() Config {
 	if c.HTMMaxRetries == 0 {
 		c.HTMMaxRetries = 2
 	}
+	if _, err := clock.ParseMode(c.ClockMode); err != nil {
+		panic("tm: " + err.Error())
+	}
 	return c
 }
 
@@ -838,7 +870,7 @@ func (c Config) withDefaults() Config {
 // engine needs. Distinct Systems are fully independent.
 type System struct {
 	Engine Engine
-	Clock  clock.Clock
+	Clock  clock.Source
 	Table  *locktable.Table
 	Cfg    Config
 	Stats  Stats
@@ -916,6 +948,7 @@ type System struct {
 func NewSystem(cfg Config, mk func(*System) Engine) *System {
 	cfg = cfg.withDefaults()
 	s := &System{Cfg: cfg, Table: locktable.NewResizable(cfg.TableSize, cfg.Stripes, cfg.MaxStripes)}
+	s.Clock = clock.New(clock.Mode(cfg.ClockMode), &s.Stats.ClockCASRetries, &s.Stats.ClockAdvances)
 	s.pool.init()
 	s.Engine = mk(s)
 	return s
@@ -958,6 +991,34 @@ func (s *System) threadsUnlocked() []*Thread {
 // Quiesce blocks until every transaction that was active with a start time
 // ≤ end has finished its current attempt, providing privatization safety
 // after a writer commit (Appendix A, TxCommit line 20).
+//
+// The ordering stays correct under every Config.ClockMode, including the
+// modes where commit timestamps are shared or the clock is not advanced
+// on commit:
+//
+//   - A transaction that must be waited for is one that could have read
+//     the pre-commit state of our write set. Such a transaction's
+//     snapshot precedes our publication, so its published ActiveStart
+//     (start+1) is <= end in every mode — under "deferred",
+//     end = Now()+1 is >= start+1 for every transaction whose snapshot
+//     the committer could race with, which makes the wait conservative
+//     (it may also cover some later-started transactions) but never
+//     unsound.
+//
+//   - A transaction with start >= end began after our commit timestamp
+//     was fixed. If it touches our write set before our locks are
+//     released it aborts on the locked orec; after release it reads the
+//     committed values (version end <= its start). Either way it can
+//     never observe pre-commit state, so skipping it is safe — even
+//     when it shares the timestamp end with us ("pof" adoption), since
+//     sharing requires disjoint write-lock sets and a post-publication
+//     snapshot.
+//
+//   - Timestamp extension moves a live transaction's ActiveStart
+//     forward, possibly past end, dropping it from our wait set. That
+//     is safe for the same reason: extension revalidates every prior
+//     read at the new snapshot, so a transaction extended past end has
+//     proven it observed none of the pre-commit state.
 func (s *System) Quiesce(self *Thread, end uint64) {
 	threads := s.threadsUnlocked()
 	for _, t := range threads {
