@@ -25,18 +25,34 @@
 //     Adopters must always validate; only a committer whose own CAS
 //     uniquely moved start to start+1 may skip validation.
 //
-//   - Deferred (GV5/TicToc-flavored): commit returns Now()+1 without
-//     touching the shared word at all, so many writers share each
-//     stamp and the clock advances only when a reader actually
-//     observes a too-new version (NoteStale) or a snapshot is
-//     extended. This trades rare extra false aborts — a reader that
-//     trips over a freshly published version must retry or extend —
-//     for near-zero clock traffic. Commit can never skip validation.
+//   - Deferred (GV5/TicToc-flavored): commit returns one past
+//     max(Now(), held) — held being the highest version among the
+//     orecs the committer locked — without touching the shared word
+//     at all, so unrelated writers share stamps and the clock advances
+//     only when a reader actually observes a too-new version
+//     (NoteStale) or a snapshot is extended. This trades rare extra
+//     false aborts — a reader that trips over a freshly published
+//     version must retry or extend — for near-zero clock traffic.
+//     Commit can never skip validation.
 //
-// Invariant across all modes: no published orec version ever exceeds
-// Now()+1, and a version v becomes readable without abort once
-// Now() >= v (NoteStale guarantees progress toward that under
-// Deferred).
+// Invariants across all modes:
+//
+//   - Per-orec versions strictly increase across lock cycles. Global
+//     and POF stamps strictly exceed the clock value sampled during
+//     Commit, which already covers every version the committer locked;
+//     Deferred gets the same guarantee from the held argument. Abort
+//     republishes at the locked version + 1. The engines' timestamp
+//     extension relies on this: an orec word unchanged since a
+//     consistent sample proves no commit intervened.
+//
+//   - A version v becomes readable without abort once Now() >= v.
+//     Under Global and POF every version is covered by the clock when
+//     it is published (commit stamps by construction; abort
+//     republishes only after Bump has advanced the clock past them).
+//     Under Deferred published versions may run ahead of the clock —
+//     commit stamps chain off held versions and abort republish never
+//     bumps — and NoteStale is what moves Now() up to any version a
+//     reader trips over, guaranteeing progress.
 package clock
 
 import (
@@ -82,19 +98,27 @@ type Source interface {
 	Now() uint64
 
 	// Commit returns the timestamp a writer that began at start must
-	// publish its orec versions at. exclusive reports that no other
-	// writer can have taken a timestamp in (start, end], which
-	// licenses the TL2 fast path of skipping read-set validation.
-	// Under POF and Deferred, end may be shared with concurrent
-	// committers; callers must tolerate that (the engines'
-	// "Version(w) > tx.Start" comparisons already do).
-	Commit(start uint64) (end uint64, exclusive bool)
+	// publish its orec versions at. held is the highest version among
+	// the orecs the writer locked (tm.Tx.MaxLockVer; 0 when untracked):
+	// end always strictly exceeds it, keeping per-orec versions
+	// strictly increasing even when the shared word has not moved since
+	// the previous commit to the same orec (Deferred). exclusive
+	// reports that no other writer can have taken a timestamp in
+	// (start, end], which licenses the TL2 fast path of skipping
+	// read-set validation. Under POF and Deferred, end may be shared
+	// with concurrent committers; callers must tolerate that (the
+	// engines' "Version(w) > tx.Start" comparisons already do).
+	Commit(start, held uint64) (end uint64, exclusive bool)
 
 	// Bump advances time past versions republished outside a normal
 	// commit: rollback's version+1 lock release and the HTM serial
-	// fallback's unversioned stores. Under Deferred it is a no-op —
-	// rollback republishes at most Version+1 <= Now()+1, which that
-	// mode's invariant already permits.
+	// fallback's unversioned stores. The engines call it BEFORE
+	// releasing rollback locks, so under Global and POF a republished
+	// version is covered by the clock by the time it becomes visible —
+	// a concurrent committer can then never reuse it. Under Deferred it
+	// is a no-op: republished versions may run ahead of the clock there
+	// (NoteStale provides reader progress), and reuse is ruled out by
+	// Commit's held argument instead.
 	Bump()
 
 	// NoteStale records that a transaction observed orec version v
@@ -180,7 +204,11 @@ type global struct {
 func (g *global) Mode() Mode  { return Global }
 func (g *global) Now() uint64 { return g.w.now.Load() }
 
-func (g *global) Commit(start uint64) (uint64, bool) {
+// Commit ignores held: the fetch-and-add yields a value strictly above
+// the pre-add clock, which covers every published version — including
+// the ones this committer locked (rollback Bumps before republishing,
+// so even abort-released versions never run ahead of the clock).
+func (g *global) Commit(start, _ uint64) (uint64, bool) {
 	end := g.w.now.Add(1)
 	g.c.advances.Add(1)
 	// Timestamps are unique, so end == start+1 proves no other writer
@@ -205,7 +233,11 @@ type pof struct {
 func (p *pof) Mode() Mode  { return POF }
 func (p *pof) Now() uint64 { return p.w.now.Load() }
 
-func (p *pof) Commit(start uint64) (uint64, bool) {
+// Commit ignores held for the same reason Global does: both return
+// paths yield a value strictly above the clock sampled here, and the
+// clock already covers every version this committer locked (commit
+// stamps by construction; rollback republishes only after Bump).
+func (p *pof) Commit(start, _ uint64) (uint64, bool) {
 	cur := p.w.now.Load()
 	if p.w.now.CompareAndSwap(cur, cur+1) {
 		p.c.advances.Add(1)
@@ -249,17 +281,30 @@ type deferred struct {
 func (d *deferred) Mode() Mode  { return Deferred }
 func (d *deferred) Now() uint64 { return d.w.now.Load() }
 
-func (d *deferred) Commit(start uint64) (uint64, bool) {
-	// Publish one past the current time. Many committers share each
-	// stamp, and end == start+1 proves nothing (nobody advances the
+func (d *deferred) Commit(start, held uint64) (uint64, bool) {
+	// Publish one past the current time — or one past the highest
+	// version this committer locked, whichever is later. Without held,
+	// two back-to-back commits to the same orec could reuse a stamp
+	// (the shared word never moves on commit), and an extending reader
+	// whose NoteStale raced ahead could mistake the second commit's
+	// republished word for its own consistent sample. Chaining off held
+	// keeps per-orec versions strictly increasing with zero shared-word
+	// traffic. end == start+1 proves nothing here (nobody advances the
 	// clock on commit), so this mode never grants the fast path.
-	return d.w.now.Load() + 1, false
+	end := d.w.now.Load() + 1
+	if held >= end {
+		end = held + 1
+	}
+	return end, false
 }
 
-// Bump is a no-op: rollback republishes at Version+1, and every
-// published version already satisfies v <= Now()+1 in this mode, so
-// the republished versions are exactly as "one past the clock" as a
-// regular deferred commit's.
+// Bump is a no-op: deferred published versions may legitimately run
+// ahead of the clock (Commit chains off held versions; rollback
+// republishes at Version+1, which can exceed Now()+1 when the locked
+// orec was already one past the clock). Readers that trip over such a
+// version advance the clock themselves via NoteStale, and version
+// reuse is ruled out by Commit's held argument, so rollback has
+// nothing to cover here.
 func (d *deferred) Bump() {}
 
 func (d *deferred) NoteStale(v uint64) { atLeast(&d.w, &d.c, v) }

@@ -76,7 +76,7 @@ func TestCommitMonotonic(t *testing.T) {
 		c := New(m, nil, nil)
 		for i := 0; i < 100; i++ {
 			start := c.Now()
-			end, _ := c.Commit(start)
+			end, _ := c.Commit(start, 0)
 			if end <= start {
 				t.Fatalf("%s: Commit(%d) = %d, not after start", m, start, end)
 			}
@@ -99,7 +99,7 @@ func TestCommitMonotonic(t *testing.T) {
 func TestGlobalExclusiveUncontended(t *testing.T) {
 	c := New(Global, nil, nil)
 	for i := uint64(1); i <= 10; i++ {
-		end, excl := c.Commit(i - 1)
+		end, excl := c.Commit(i-1, 0)
 		if end != i || !excl {
 			t.Fatalf("Commit #%d = %d, exclusive=%v", i, end, excl)
 		}
@@ -114,7 +114,7 @@ func TestDeferredCommitQuiet(t *testing.T) {
 	c.AtLeast(7)
 	advances.Store(0)
 	for i := 0; i < 100; i++ {
-		end, excl := c.Commit(7)
+		end, excl := c.Commit(7, 0)
 		if end != 8 || excl {
 			t.Fatalf("Commit = %d, exclusive=%v; want 8, false", end, excl)
 		}
@@ -133,7 +133,7 @@ func TestCounters(t *testing.T) {
 	for _, m := range []Mode{Global, POF} {
 		var retries, advances atomic.Uint64
 		c := New(m, &retries, &advances)
-		c.Commit(0)
+		c.Commit(0, 0)
 		c.Bump()
 		c.AtLeast(10)
 		c.AtLeast(5) // no-op: already past 5
@@ -161,7 +161,7 @@ func TestConcurrentCommitUniqueTimestamps(t *testing.T) {
 			defer wg.Done()
 			out := make([]uint64, per)
 			for i := range out {
-				out[i], _ = c.Commit(0)
+				out[i], _ = c.Commit(0, 0)
 			}
 			results[id] = out
 		}(g)
@@ -207,7 +207,7 @@ func TestPOFSharedTimestampTolerance(t *testing.T) {
 			prev := uint64(0)
 			for i := 0; i < per; i++ {
 				start := c.Now()
-				end, excl := c.Commit(start)
+				end, excl := c.Commit(start, 0)
 				if end <= start {
 					errs <- "end not after start"
 					return
@@ -245,6 +245,45 @@ func TestPOFSharedTimestampTolerance(t *testing.T) {
 	}
 }
 
+// TestCommitExceedsHeld pins the per-orec monotonicity contract of
+// every mode: a commit stamp strictly exceeds the highest version the
+// committer holds locked, so two successive commits to the same orec
+// can never publish the same version.
+func TestCommitExceedsHeld(t *testing.T) {
+	for _, m := range Modes() {
+		c := New(m, nil, nil)
+		held := uint64(0)
+		for i := 0; i < 100; i++ {
+			end, _ := c.Commit(c.Now(), held)
+			if end <= held {
+				t.Fatalf("%s: Commit with held=%d returned %d (version reuse)", m, held, end)
+			}
+			held = end // the next committer of this orec locks version end
+		}
+	}
+}
+
+// TestDeferredStampsChainOffHeld is the regression for the deferred
+// stamp-collision bug: the shared word never moves on commit, so
+// without the held argument two back-to-back commits to the same orec
+// would both publish Now()+1 — letting an extending reader validate a
+// stale value against a bit-identical republished orec word. The stamps
+// must chain off the held version with zero shared-word traffic.
+func TestDeferredStampsChainOffHeld(t *testing.T) {
+	var retries, advances atomic.Uint64
+	c := New(Deferred, &retries, &advances)
+	end1, _ := c.Commit(0, 0)
+	end2, _ := c.Commit(0, end1)
+	end3, _ := c.Commit(0, end2)
+	if end1 != 1 || end2 != 2 || end3 != 3 {
+		t.Fatalf("chained deferred stamps = %d, %d, %d; want 1, 2, 3", end1, end2, end3)
+	}
+	if c.Now() != 0 || advances.Load() != 0 || retries.Load() != 0 {
+		t.Fatalf("held chaining touched the shared word: now=%d advances=%d retries=%d",
+			c.Now(), advances.Load(), retries.Load())
+	}
+}
+
 // TestNowMonotonicUnderConcurrency samples Now while other goroutines
 // drive each mode's advance paths; observed time must never decrease.
 func TestNowMonotonicUnderConcurrency(t *testing.T) {
@@ -256,7 +295,7 @@ func TestNowMonotonicUnderConcurrency(t *testing.T) {
 			go func() {
 				defer committers.Done()
 				for i := 0; i < 2000; i++ {
-					end, _ := c.Commit(c.Now())
+					end, _ := c.Commit(c.Now(), 0)
 					c.NoteStale(end)
 					if i%64 == 0 {
 						c.Bump()

@@ -86,11 +86,12 @@ type Knobs struct {
 	// outcomes, which tmcheck -clock checks across all engines and
 	// mechanisms.
 	ClockMode string
-	// TimestampExtension enables the eager engine's read-time snapshot
-	// extension (tm.Config.TimestampExtension); the other engines ignore
-	// it. Pairs naturally with the deferred clock, which turns most
-	// too-new aborts into in-place extensions. Observably inert like the
-	// rest.
+	// TimestampExtension enables read-time snapshot extension
+	// (tm.Config.TimestampExtension) in the software TMs — eager, lazy,
+	// and the hybrid's software mode; hardware attempts and the HTM
+	// engine ignore it. Pairs naturally with the deferred clock, which
+	// turns most too-new aborts into in-place extensions. Observably
+	// inert like the rest.
 	TimestampExtension bool
 }
 

@@ -234,10 +234,13 @@ func (e *Engine) Commit(tx *tm.Tx) {
 			t.HWActive.Store(false)
 			tx.Abort(tm.AbortConflict)
 		}
+		if v := locktable.Version(w); v > tx.MaxLockVer {
+			tx.MaxLockVer = v
+		}
 		tx.Locks = append(tx.Locks, idx)
 		tx.NoteWriteStripe(idx)
 	}
-	end, exclusive := e.sys.Clock.Commit(tx.Start)
+	end, exclusive := e.sys.Clock.Commit(tx.Start, tx.MaxLockVer)
 	if !exclusive && !e.validateReads(tx) {
 		t.HWActive.Store(false)
 		tx.Abort(tm.AbortConflict)
@@ -319,12 +322,15 @@ func (e *Engine) Rollback(tx *tm.Tx) {
 	if len(tx.Locks) == 0 {
 		return
 	}
+	// Bump before releasing: under global/pof the republished versions
+	// must already be covered by the clock when they become visible, or
+	// a concurrent Commit could hand the same version out again.
+	e.sys.Clock.Bump()
 	for _, idx := range tx.Locks {
 		w := e.sys.Table.Get(idx)
 		e.sys.Table.Set(idx, locktable.UnlockedAt(locktable.Version(w)+1))
 	}
 	tx.Locks = tx.Locks[:0]
-	e.sys.Clock.Bump()
 }
 
 // AwaitSnapshot implements tm.Engine. In hardware mode escape actions are

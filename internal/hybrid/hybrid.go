@@ -97,10 +97,14 @@ func (e *Engine) sampleRead(tx *tm.Tx, addr *uint64, extend bool) (uint64, uint3
 		// re-executed attempt) starts late enough to read this version.
 		e.sys.Clock.NoteStale(v)
 		// After a successful extension the consistent sample (val, v) is
-		// still current iff the orec is unchanged — versions strictly
-		// increase across lock cycles, so an equal word means no
-		// intervening commit.
-		if extend && tx.Mode != tm.ModeHW && e.sys.Cfg.TimestampExtension && e.tryExtend(tx) && e.sys.Table.Get(idx) == w1 {
+		// still current iff the extended start covers v and the orec is
+		// unchanged. The v <= tx.Start recheck is load-bearing: under
+		// global/pof a rollback can republish a version the clock has
+		// not reached yet, so the extended start may still predate v.
+		// The word recheck is sound because versions strictly increase
+		// across lock cycles (clock.Source invariant), so an equal word
+		// means no intervening commit.
+		if extend && tx.Mode != tm.ModeHW && e.sys.Cfg.TimestampExtension && e.tryExtend(tx) && v <= tx.Start && e.sys.Table.Get(idx) == w1 {
 			return val, idx, v
 		}
 	}
@@ -212,10 +216,13 @@ func (e *Engine) Commit(tx *tm.Tx) {
 			}
 			tx.Abort(tm.AbortConflict)
 		}
+		if v := locktable.Version(w); v > tx.MaxLockVer {
+			tx.MaxLockVer = v
+		}
 		tx.Locks = append(tx.Locks, idx)
 		tx.NoteWriteStripe(idx)
 	}
-	end, exclusive := e.sys.Clock.Commit(tx.Start)
+	end, exclusive := e.sys.Clock.Commit(tx.Start, tx.MaxLockVer)
 	if !exclusive && !e.validateReads(tx) {
 		if hw {
 			t.HWActive.Store(false)
@@ -288,12 +295,15 @@ func (e *Engine) Rollback(tx *tm.Tx) {
 	if len(tx.Locks) == 0 {
 		return
 	}
+	// Bump before releasing: under global/pof the republished versions
+	// must already be covered by the clock when they become visible, or
+	// a concurrent Commit could hand the same version out again.
+	e.sys.Clock.Bump()
 	for _, idx := range tx.Locks {
 		w := e.sys.Table.Get(idx)
 		e.sys.Table.Set(idx, locktable.UnlockedAt(locktable.Version(w)+1))
 	}
 	tx.Locks = tx.Locks[:0]
-	e.sys.Clock.Bump()
 }
 
 // AwaitSnapshot implements tm.Engine: hardware transactions must restart

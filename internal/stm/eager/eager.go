@@ -70,11 +70,17 @@ func (e *Engine) Read(tx *tm.Tx, addr *uint64) uint64 {
 		// extension (or the retry after abort) resamples the clock.
 		e.sys.Clock.NoteStale(ver)
 		// After a successful extension the consistent sample (val, ver)
-		// taken above is still current iff the orec is unchanged — orec
-		// versions strictly increase across lock cycles, so an equal word
-		// means no intervening commit. Checking that (after tryExtend
-		// sampled the clock) is cheaper than re-reading the location.
-		if e.sys.Cfg.TimestampExtension && e.tryExtend(tx) && e.sys.Table.Get(idx) == w1 {
+		// taken above is still current iff the extended start covers ver
+		// and the orec is unchanged. The ver <= tx.Start recheck is
+		// load-bearing: under global/pof a rollback can republish a
+		// version the clock has not reached yet, so the extended start
+		// may still predate ver — accepting the sample then would record
+		// a read the snapshot does not cover. The word recheck is sound
+		// because orec versions strictly increase across lock cycles
+		// (clock.Source invariant), so an equal word means no
+		// intervening commit; checking it (after tryExtend sampled the
+		// clock) is cheaper than re-reading the location.
+		if e.sys.Cfg.TimestampExtension && e.tryExtend(tx) && ver <= tx.Start && e.sys.Table.Get(idx) == w1 {
 			tx.Reads = append(tx.Reads, tm.ReadEntry{Addr: addr, Orec: idx, Ver: ver})
 			if tx.IsRetry {
 				tx.LogWait(addr, val)
@@ -119,12 +125,20 @@ func (e *Engine) Write(tx *tm.Tx, addr *uint64, val uint64) {
 		return
 	}
 	if !locktable.Locked(w) {
-		ok := locktable.Version(w) <= tx.Start
+		ver := locktable.Version(w)
+		ok := ver <= tx.Start
 		if !ok {
-			e.sys.Clock.NoteStale(locktable.Version(w))
-			ok = e.sys.Cfg.TimestampExtension && e.tryExtend(tx)
+			e.sys.Clock.NoteStale(ver)
+			// As in Read, the post-extension ver <= tx.Start recheck is
+			// required: without it a rollback-republished version ahead
+			// of the clock could be locked and committed by a snapshot
+			// that never covered it.
+			ok = e.sys.Cfg.TimestampExtension && e.tryExtend(tx) && ver <= tx.Start
 		}
-		if ok && e.sys.Table.CAS(idx, w, locktable.LockedBy(tx.Thr.ID, locktable.Version(w))) {
+		if ok && e.sys.Table.CAS(idx, w, locktable.LockedBy(tx.Thr.ID, ver)) {
+			if ver > tx.MaxLockVer {
+				tx.MaxLockVer = ver
+			}
 			tx.Locks = append(tx.Locks, idx)
 			tx.NoteWriteStripe(idx)
 			tx.Undo = append(tx.Undo, tm.UndoEntry{Addr: addr, Old: atomic.LoadUint64(addr)})
@@ -144,7 +158,7 @@ func (e *Engine) Commit(tx *tm.Tx) {
 	if len(tx.Locks) == 0 {
 		return
 	}
-	end, exclusive := e.sys.Clock.Commit(tx.Start)
+	end, exclusive := e.sys.Clock.Commit(tx.Start, tx.MaxLockVer)
 	if !exclusive && !e.validateReads(tx) {
 		tx.Abort(tm.AbortConflict)
 	}
@@ -184,10 +198,14 @@ func (e *Engine) validateReads(tx *tm.Tx) bool {
 func (e *Engine) Validate(tx *tm.Tx) bool { return e.validateReads(tx) }
 
 // Rollback implements Algorithm 11's TxAbort: undo writes in reverse,
-// release locks with an incremented version so concurrent TxReads notice,
-// and bump the clock once so released versions remain legal under the
-// active clock mode. It is safe to call when the undo log has already
-// been applied (AwaitSnapshot) and is idempotent across repeated calls.
+// bump the clock once, and release locks with an incremented version so
+// concurrent TxReads notice. The bump precedes the release so that under
+// global/pof the republished versions are already covered by the clock
+// when they become visible — a version ahead of the clock could be
+// handed out again by a concurrent Commit, breaking the strict per-orec
+// version increase that timestamp extension relies on. It is safe to
+// call when the undo log has already been applied (AwaitSnapshot) and is
+// idempotent across repeated calls.
 func (e *Engine) Rollback(tx *tm.Tx) {
 	for i := len(tx.Undo) - 1; i >= 0; i-- {
 		atomic.StoreUint64(tx.Undo[i].Addr, tx.Undo[i].Old)
@@ -196,12 +214,12 @@ func (e *Engine) Rollback(tx *tm.Tx) {
 	if len(tx.Locks) == 0 {
 		return
 	}
+	e.sys.Clock.Bump()
 	for _, idx := range tx.Locks {
 		w := e.sys.Table.Get(idx)
 		e.sys.Table.Set(idx, locktable.UnlockedAt(locktable.Version(w)+1))
 	}
 	tx.Locks = tx.Locks[:0]
-	e.sys.Clock.Bump()
 }
 
 // AwaitSnapshot implements the Await re-read step (Algorithm 6): undo the

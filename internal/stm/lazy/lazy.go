@@ -52,11 +52,15 @@ func (e *Engine) sampleRead(tx *tm.Tx, addr *uint64, extend bool) (uint64, uint3
 		// re-executed attempt) starts late enough to read this version.
 		e.sys.Clock.NoteStale(v)
 		// After a successful extension the consistent sample (val, v) is
-		// still current iff the orec is unchanged — versions strictly
-		// increase across lock cycles, so an equal word means no
-		// intervening commit. Checking that (after tryExtend sampled the
-		// clock) is cheaper than re-sampling the location.
-		if extend && e.sys.Cfg.TimestampExtension && e.tryExtend(tx) && e.sys.Table.Get(idx) == w1 {
+		// still current iff the extended start covers v and the orec is
+		// unchanged. The v <= tx.Start recheck is load-bearing: under
+		// global/pof a rollback can republish a version the clock has
+		// not reached yet, so the extended start may still predate v.
+		// The word recheck is sound because versions strictly increase
+		// across lock cycles (clock.Source invariant), so an equal word
+		// means no intervening commit; checking it (after tryExtend
+		// sampled the clock) is cheaper than re-sampling the location.
+		if extend && e.sys.Cfg.TimestampExtension && e.tryExtend(tx) && v <= tx.Start && e.sys.Table.Get(idx) == w1 {
 			return val, idx, v
 		}
 	}
@@ -133,10 +137,13 @@ func (e *Engine) Commit(tx *tm.Tx) {
 		if locktable.Locked(w) || !e.sys.Table.CAS(idx, w, locktable.LockedBy(tx.Thr.ID, locktable.Version(w))) {
 			tx.Abort(tm.AbortConflict)
 		}
+		if v := locktable.Version(w); v > tx.MaxLockVer {
+			tx.MaxLockVer = v
+		}
 		tx.Locks = append(tx.Locks, idx)
 		tx.NoteWriteStripe(idx)
 	}
-	end, exclusive := e.sys.Clock.Commit(tx.Start)
+	end, exclusive := e.sys.Clock.Commit(tx.Start, tx.MaxLockVer)
 	if !exclusive && !e.validateReads(tx) {
 		tx.Abort(tm.AbortConflict)
 	}
@@ -191,17 +198,22 @@ func (e *Engine) Validate(tx *tm.Tx) bool { return e.validateReads(tx) }
 
 // Rollback discards the redo log (memory was never touched before
 // validation succeeded) and releases any commit-time locks with a bumped
-// version so concurrent readers notice the ownership change.
+// version so concurrent readers notice the ownership change. The clock
+// bump precedes the release so that under global/pof the republished
+// versions are already covered by the clock when they become visible —
+// a version ahead of the clock could be handed out again by a concurrent
+// Commit, breaking the strict per-orec version increase that timestamp
+// extension relies on.
 func (e *Engine) Rollback(tx *tm.Tx) {
 	if len(tx.Locks) == 0 {
 		return
 	}
+	e.sys.Clock.Bump()
 	for _, idx := range tx.Locks {
 		w := e.sys.Table.Get(idx)
 		e.sys.Table.Set(idx, locktable.UnlockedAt(locktable.Version(w)+1))
 	}
 	tx.Locks = tx.Locks[:0]
-	e.sys.Clock.Bump()
 }
 
 // AwaitSnapshot implements the Await re-read (Algorithm 6) for a lazy TM:

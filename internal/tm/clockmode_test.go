@@ -3,10 +3,10 @@ package tm_test
 // Clock-mode integration tests for the tm layer: Config validation of
 // ClockMode, the Stats clock counters, and — the regression the deferred
 // protocol makes interesting — Quiesce ordering. Deferred commit
-// timestamps are Now()+1 without advancing the clock, so end is >= the
-// published ActiveStart of every transaction whose snapshot the
-// committer could race with; Quiesce must therefore still wait for a
-// live earlier-start transaction, even though the committer never
+// timestamps are at least Now()+1 without advancing the clock, so end
+// is >= the published ActiveStart of every transaction whose snapshot
+// the committer could race with; Quiesce must therefore still wait for
+// a live earlier-start transaction, even though the committer never
 // uniquely owned its timestamp.
 
 import (
@@ -70,7 +70,7 @@ func TestClockCountersExported(t *testing.T) {
 }
 
 // TestDeferredClockQuiesceOrdering is the quiesce-ordering regression
-// test: with the deferred clock, a committing writer's end = Now()+1 is
+// test: with the deferred clock, a committing writer's end >= Now()+1 is
 // never "ahead" of the clock the way unique global timestamps are, and a
 // buggy Quiesce comparison could conclude that a live transaction with
 // an equal-or-earlier start needs no wait. Pin the contract directly: a

@@ -147,6 +147,14 @@ type Tx struct {
 	Mallocs [][]uint64  // transactional allocations (undone on abort)
 	Frees   [][]uint64  // deferred frees (performed on commit)
 
+	// MaxLockVer is the highest pre-acquisition version among the orecs
+	// this attempt holds locked, maintained by the engines at lock
+	// acquisition and handed to clock.Source.Commit so commit stamps
+	// strictly exceed every version the attempt is about to overwrite
+	// (the deferred clock needs this to keep per-orec versions strictly
+	// increasing; global/pof get it from the shared word).
+	MaxLockVer uint64
+
 	// WriteOrecs is filled by the engine during a successful Commit with
 	// the orec slots the transaction wrote. The original Retry mechanism
 	// (Algorithm 1) intersects it with sleeping transactions' read sets.
@@ -407,6 +415,7 @@ func (tx *Tx) resetAfterAttempt(committed bool) {
 	tx.Undo = tx.Undo[:0]
 	tx.Redo.Reset()
 	tx.Locks = tx.Locks[:0]
+	tx.MaxLockVer = 0
 	tx.Mallocs = tx.Mallocs[:0]
 	tx.Frees = tx.Frees[:0]
 	tx.WriteOrecs = tx.WriteOrecs[:0]
@@ -710,18 +719,21 @@ type Config struct {
 	// Quiesce enables privatization safety: a committing writer waits for
 	// all concurrent transactions that started before its commit.
 	Quiesce bool
-	// TimestampExtension lets the eager STM extend a transaction's start
-	// time instead of aborting when it reads a too-new location, by
-	// revalidating the read set at the current clock (Riegel et al. [22];
-	// Appendix A notes the abort-on-too-new default is conservative).
+	// TimestampExtension lets the software TMs (eager, lazy, and the
+	// hybrid's software mode) extend a transaction's start time instead
+	// of aborting when it reads a too-new location, by revalidating the
+	// read set at the current clock (Riegel et al. [22]; Appendix A
+	// notes the abort-on-too-new default is conservative). Hardware
+	// attempts never extend.
 	TimestampExtension bool
 	// ClockMode selects the commit-timestamp protocol: "global" (the
 	// default, also selected by ""; one atomic increment of the shared
 	// clock word per writer commit), "pof" (GV4 pass-on-CAS-failure:
 	// losers adopt the winner's timestamp instead of retrying), or
-	// "deferred" (GV5/TicToc-flavored: commits publish at Now()+1
-	// without touching the shared word, which advances only when a
-	// reader observes a too-new version). See internal/clock for the
+	// "deferred" (GV5/TicToc-flavored: commits publish one past
+	// max(Now(), highest locked orec version) without touching the
+	// shared word, which advances only when a reader observes a
+	// too-new version). See internal/clock for the
 	// protocol and soundness notes. Like the wakeup knobs this is a pure
 	// performance knob — every mode must yield identical observable
 	// outcomes, which the differential harness checks across all
@@ -1000,7 +1012,8 @@ func (s *System) threadsUnlocked() []*Thread {
 //     the pre-commit state of our write set. Such a transaction's
 //     snapshot precedes our publication, so its published ActiveStart
 //     (start+1) is <= end in every mode — under "deferred",
-//     end = Now()+1 is >= start+1 for every transaction whose snapshot
+//     end >= Now()+1 (Commit may chain even higher off the versions it
+//     locked) is >= start+1 for every transaction whose snapshot
 //     the committer could race with, which makes the wait conservative
 //     (it may also cover some later-started transactions) but never
 //     unsound.
