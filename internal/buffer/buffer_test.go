@@ -6,6 +6,8 @@ import (
 	"testing/quick"
 	"time"
 
+	"tmsync/internal/mono"
+
 	"tmsync/internal/buffer"
 	"tmsync/internal/core"
 	"tmsync/internal/htm"
@@ -254,7 +256,7 @@ func TestComposeRetryIsAtomic(t *testing.T) {
 			}()
 			obs := sys.NewThread()
 			violations := 0
-			deadline := time.Now().Add(5 * time.Second)
+			start := mono.Now()
 			fed := false
 			for {
 				var ip uint64
@@ -286,7 +288,7 @@ func TestComposeRetryIsAtomic(t *testing.T) {
 					return
 				default:
 				}
-				if time.Now().After(deadline) {
+				if start.Elapsed() > 5*time.Second {
 					t.Fatal("composition never completed")
 				}
 			}
@@ -311,14 +313,14 @@ func TestComposeCondVarBreaksAtomicity(t *testing.T) {
 			}()
 			obs := sys.NewThread()
 			sawPartial := false
-			deadline := time.Now().Add(5 * time.Second)
+			start := mono.Now()
 			for !sawPartial {
 				var ip uint64
 				obs.Atomic(func(tx *tm.Tx) { ip = tx.Read(inprogress.Addr()) })
 				if ip != 0 {
 					sawPartial = true
 				}
-				if time.Now().After(deadline) {
+				if start.Elapsed() > 5*time.Second {
 					t.Fatal("never observed the atomicity break")
 				}
 			}

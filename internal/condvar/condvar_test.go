@@ -5,6 +5,8 @@ import (
 	"testing"
 	"time"
 
+	"tmsync/internal/mono"
+
 	"tmsync/internal/condvar"
 	"tmsync/internal/htm"
 	"tmsync/internal/stm/eager"
@@ -29,9 +31,9 @@ func forEach(t *testing.T, fn func(t *testing.T, sys *tm.System)) {
 
 func waitCond(t *testing.T, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
+	start := mono.Now()
 	for !cond() {
-		if time.Now().After(deadline) {
+		if start.Elapsed() > 5*time.Second {
 			t.Fatalf("timed out waiting for %s", what)
 		}
 		time.Sleep(time.Millisecond)

@@ -14,6 +14,8 @@ import (
 	"testing"
 	"time"
 
+	"tmsync/internal/mono"
+
 	"tmsync/internal/condvar"
 	"tmsync/internal/core"
 	"tmsync/internal/htm"
@@ -234,7 +236,7 @@ func TestCoalesceAgeBoundRescuesStrandedIdleWriter(t *testing.T) {
 		for i := uint64(2); i <= 7; i++ {
 			writer.Atomic(func(tx *tm.Tx) { tx.Write(&other, i) })
 		}
-		start := time.Now()
+		start := mono.Now()
 		select {
 		case <-done:
 		case <-time.After(10 * time.Second):
@@ -242,7 +244,7 @@ func TestCoalesceAgeBoundRescuesStrandedIdleWriter(t *testing.T) {
 		}
 		// The bound is on flush initiation; allow generous scheduling
 		// slack on top for loaded CI runners.
-		if elapsed := time.Since(start); elapsed > bound+2*time.Second {
+		if elapsed := start.Elapsed(); elapsed > bound+2*time.Second {
 			t.Errorf("waiter woke after %v, want within the %v age bound (plus slack)", elapsed, bound)
 		}
 		if got := sys.Stats.FlushReasonAge.Load(); got != 1 {

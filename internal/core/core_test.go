@@ -6,6 +6,8 @@ import (
 	"testing"
 	"time"
 
+	"tmsync/internal/mono"
+
 	"tmsync/internal/core"
 	"tmsync/internal/htm"
 	"tmsync/internal/hybrid"
@@ -48,9 +50,9 @@ func forEach(t *testing.T, kinds []string, fn func(t *testing.T, sys *tm.System,
 // waitCond polls until cond holds or the deadline passes.
 func waitCond(t *testing.T, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
+	start := mono.Now()
 	for !cond() {
-		if time.Now().After(deadline) {
+		if start.Elapsed() > 5*time.Second {
 			t.Fatalf("timed out waiting for %s", what)
 		}
 		time.Sleep(time.Millisecond)

@@ -230,6 +230,7 @@ func (e *Engine) Commit(tx *tm.Tx) {
 			continue
 		}
 		w := e.sys.Table.Get(idx)
+		//tm:lock-acquire
 		if locktable.Locked(w) || !e.sys.Table.CAS(idx, w, locktable.LockedBy(t.ID, locktable.Version(w))) {
 			t.HWActive.Store(false)
 			tx.Abort(tm.AbortConflict)
@@ -309,6 +310,8 @@ func (e *Engine) Validate(tx *tm.Tx) bool {
 // Rollback implements tm.Engine. Serial attempts undo their in-place
 // writes and release the serial lock; hardware attempts discard the redo
 // buffer and release any commit-time locks.
+//
+//tm:rollback
 func (e *Engine) Rollback(tx *tm.Tx) {
 	if tx.SerialHeld {
 		for i := len(tx.Undo) - 1; i >= 0; i-- {

@@ -120,6 +120,8 @@ func (e *Engine) sampleRead(tx *tm.Tx, addr *uint64, extend bool) (uint64, uint3
 // read time, the snapshot is valid at the current clock, so the start
 // time advances instead of aborting on a too-new read. Exact-match is
 // what keeps this sound under shared and deferred timestamps.
+//
+//tm:extend
 func (e *Engine) tryExtend(tx *tm.Tx) bool {
 	now := e.sys.Clock.Now()
 	for i := range tx.Reads {
@@ -210,6 +212,7 @@ func (e *Engine) Commit(tx *tm.Tx) {
 			continue
 		}
 		w := e.sys.Table.Get(idx)
+		//tm:lock-acquire
 		if locktable.Locked(w) || !e.sys.Table.CAS(idx, w, locktable.LockedBy(t.ID, locktable.Version(w))) {
 			if hw {
 				t.HWActive.Store(false)
@@ -290,6 +293,8 @@ func (e *Engine) Validate(tx *tm.Tx) bool { return e.validateReads(tx) }
 
 // Rollback implements tm.Engine: both modes buffer writes, so rollback is
 // lock release only.
+//
+//tm:rollback
 func (e *Engine) Rollback(tx *tm.Tx) {
 	tx.Thr.HWActive.Store(false)
 	if len(tx.Locks) == 0 {

@@ -176,6 +176,11 @@ func checkAtomicCopies(p *Pass) {
 				if isAtomicAddrFn(calleeObj(p, s)) {
 					return true
 				}
+				// unsafe.Offsetof/Sizeof/Alignof operands are not
+				// evaluated; nothing is copied at run time.
+				if obj := calleeObj(p, s); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "unsafe" {
+					return true
+				}
 				for _, arg := range s.Args {
 					tv, ok := p.Info.Types[arg]
 					if ok && p.atomicBearing(tv.Type) && !copyExempt(arg) {

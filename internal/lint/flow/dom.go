@@ -1,0 +1,100 @@
+package flow
+
+// DomTree holds immediate-dominator information for a Graph, computed
+// with the iterative Cooper–Harvey–Kennedy algorithm over the blocks
+// reachable from Entry. Unreachable blocks have no dominator
+// relationships: they neither dominate nor are dominated.
+type DomTree struct {
+	idom map[*Block]*Block // immediate dominator; Entry maps to itself
+	rpo  map[*Block]int    // reverse-postorder index of reachable blocks
+}
+
+// Dominators computes the dominator tree of g.
+func Dominators(g *Graph) *DomTree {
+	// Depth-first postorder over reachable blocks.
+	var post []*Block
+	seen := make(map[*Block]bool)
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+
+	d := &DomTree{
+		idom: make(map[*Block]*Block, len(post)),
+		rpo:  make(map[*Block]int, len(post)),
+	}
+	for i := len(post) - 1; i >= 0; i-- {
+		d.rpo[post[i]] = len(post) - 1 - i
+	}
+	d.idom[g.Entry] = g.Entry
+
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for d.rpo[a] > d.rpo[b] {
+				a = d.idom[a]
+			}
+			for d.rpo[b] > d.rpo[a] {
+				b = d.idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for i := len(post) - 1; i >= 0; i-- {
+			b := post[i]
+			if b == g.Entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if d.idom[p] == nil {
+					continue // p unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+// Reachable reports whether b is reachable from the graph's entry.
+func (d *DomTree) Reachable(b *Block) bool {
+	_, ok := d.rpo[b]
+	return ok
+}
+
+// Dominates reports whether a dominates b (reflexively): every path
+// from entry to b passes through a. Unreachable blocks dominate
+// nothing and are dominated by nothing.
+func (d *DomTree) Dominates(a, b *Block) bool {
+	if !d.Reachable(a) || !d.Reachable(b) {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := d.idom[b]
+		if next == nil || next == b {
+			return false
+		}
+		b = next
+	}
+}

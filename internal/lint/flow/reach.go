@@ -1,0 +1,111 @@
+package flow
+
+import "go/ast"
+
+// Facts is a set of opaque fact keys used by the reaching analysis.
+type Facts map[any]bool
+
+func (f Facts) clone() Facts {
+	c := make(Facts, len(f))
+	for k := range f {
+		c[k] = true
+	}
+	return c
+}
+
+func (f Facts) addAll(o Facts) bool {
+	changed := false
+	for k := range o {
+		if !f[k] {
+			f[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Transfer describes one node's effect on the fact set: Gen facts are
+// added after the node executes, Kill facts are removed before Gen is
+// applied.
+type Transfer struct {
+	Gen  []any
+	Kill []any
+}
+
+// Reaching is the result of a forward may-analysis over a Graph: a
+// fact generated at node N "reaches" node M if some path from N to M
+// avoids every kill of that fact. Merges union.
+type Reaching struct {
+	g        *Graph
+	transfer func(ast.Node) Transfer
+	in       map[*Block]Facts
+}
+
+// Reach runs the forward may-analysis to fixpoint. transfer is
+// consulted per node; a nil Transfer (zero value) means the node is a
+// no-op for the analysis.
+func Reach(g *Graph, transfer func(ast.Node) Transfer) *Reaching {
+	r := &Reaching{g: g, transfer: transfer, in: make(map[*Block]Facts)}
+	for _, b := range g.Blocks {
+		r.in[b] = make(Facts)
+	}
+	// Seed every block, not just Entry: a block must be processed at
+	// least once for its own gen facts to propagate even when its
+	// in-set never changes from empty.
+	work := make([]*Block, len(g.Blocks))
+	queued := make(map[*Block]bool, len(g.Blocks))
+	for i, b := range g.Blocks {
+		work[i] = b
+		queued[b] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := r.in[b].clone()
+		for _, n := range b.Nodes {
+			t := r.transfer(n)
+			for _, k := range t.Kill {
+				delete(out, k)
+			}
+			for _, gfact := range t.Gen {
+				out[gfact] = true
+			}
+		}
+		for _, s := range b.Succs {
+			if r.in[s].addAll(out) && !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return r
+}
+
+// Before returns the facts that reach node n, evaluated before n's own
+// kill/gen apply. Returns nil if n is not a node of the graph.
+func (r *Reaching) Before(n ast.Node) Facts {
+	b, idx := r.g.BlockOf(n)
+	if b == nil {
+		return nil
+	}
+	// Re-run the block's transfer up to (not including) node idx, but
+	// only for nodes that are direct members; BlockOf may have resolved
+	// n to a containing node, in which case idx is that node's slot.
+	out := r.in[b].clone()
+	for i := 0; i < idx; i++ {
+		t := r.transfer(b.Nodes[i])
+		for _, k := range t.Kill {
+			delete(out, k)
+		}
+		for _, g := range t.Gen {
+			out[g] = true
+		}
+	}
+	return out
+}
+
+// AtExit returns the facts reaching the graph's exit block.
+func (r *Reaching) AtExit() Facts {
+	return r.in[r.g.Exit].clone()
+}

@@ -45,6 +45,15 @@ const (
 	DirWallclock        = "tm:wallclock"
 	DirLockorderChecked = "tm:lockorder-checked"
 	DirHook             = "tm:hook"
+
+	// Flow-analyzer directives (the clock–version protocol vocabulary).
+	DirRollback    = "tm:rollback"     // this function is an engine rollback path
+	DirRepublish   = "tm:republish"    // this call republishes an orec word
+	DirLockAcquire = "tm:lock-acquire" // this call/site acquires an orec lock
+	DirExtend      = "tm:extend"       // this function implements timestamp extension
+	DirNoReturn    = "tm:noreturn"     // this function never returns normally
+	DirOrecTable   = "tm:orec-table"   // this type is an orec table (Get/Set/CAS)
+	DirClockSource = "tm:clock-source" // this type is a transactional clock source
 )
 
 // An Analyzer is one invariant checker. Run inspects the package held by
@@ -56,10 +65,14 @@ type Analyzer struct {
 }
 
 // A Diagnostic is one reported violation, already resolved to a position.
+// Directives lists the //tm: directives in effect at the reported line
+// (same line or the line above), so machine consumers see the annotation
+// context the analyzer saw.
 type Diagnostic struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos        token.Position
+	Analyzer   string
+	Message    string
+	Directives []string
 }
 
 func (d Diagnostic) String() string {
@@ -81,10 +94,17 @@ type Pass struct {
 
 // Reportf records a violation at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	pp := p.Fset.Position(pos)
+	var near []string
+	if lines := p.dirs[pp.Filename]; lines != nil {
+		near = append(near, lines[pp.Line-1]...)
+		near = append(near, lines[pp.Line]...)
+	}
 	*p.diags = append(*p.diags, Diagnostic{
-		Pos:      p.Fset.Position(pos),
-		Analyzer: p.Analyzer.Name,
-		Message:  fmt.Sprintf(format, args...),
+		Pos:        pp,
+		Analyzer:   p.Analyzer.Name,
+		Message:    fmt.Sprintf(format, args...),
+		Directives: near,
 	})
 }
 

@@ -37,10 +37,17 @@ type Package struct {
 // A Loader parses and type-checks packages. One Loader shares a FileSet
 // and an import cache across every package it loads, so common
 // dependencies are type-checked once per process.
+//
+// IncludeTests closes the historical test-file blind spot: when set,
+// in-package _test.go files type-check into the package under test, and
+// external (package foo_test) test files load as their own package, so
+// lock/timing code in the test tree faces the same analyzers as the
+// runtime.
 type Loader struct {
-	fset  *token.FileSet
-	imp   types.Importer
-	sizes types.Sizes
+	fset         *token.FileSet
+	imp          types.Importer
+	sizes        types.Sizes
+	IncludeTests bool
 }
 
 // NewLoader returns a ready Loader.
@@ -83,18 +90,34 @@ func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
 			return nil, err
 		}
 		for _, lp := range listed {
-			if len(lp.GoFiles) == 0 {
+			if len(lp.GoFiles) == 0 && (!l.IncludeTests || len(lp.TestGoFiles) == 0) {
 				continue
 			}
-			files := make([]string, len(lp.GoFiles))
-			for i, f := range lp.GoFiles {
-				files[i] = filepath.Join(lp.Dir, f)
+			var files []string
+			for _, f := range lp.GoFiles {
+				files = append(files, filepath.Join(lp.Dir, f))
+			}
+			if l.IncludeTests {
+				for _, f := range lp.TestGoFiles {
+					files = append(files, filepath.Join(lp.Dir, f))
+				}
 			}
 			pkg, err := l.load(lp.ImportPath, lp.Dir, files)
 			if err != nil {
 				return nil, err
 			}
 			pkgs = append(pkgs, pkg)
+			if l.IncludeTests && len(lp.XTestGoFiles) > 0 {
+				xfiles := make([]string, len(lp.XTestGoFiles))
+				for i, f := range lp.XTestGoFiles {
+					xfiles[i] = filepath.Join(lp.Dir, f)
+				}
+				xpkg, err := l.load(lp.ImportPath+"_test", lp.Dir, xfiles)
+				if err != nil {
+					return nil, err
+				}
+				pkgs = append(pkgs, xpkg)
+			}
 		}
 	}
 	if len(pkgs) == 0 {
@@ -104,16 +127,23 @@ func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
 }
 
 // LoadDir loads the single package rooted at dir: every non-test .go file
-// in the directory, type-checked as one package.
+// in the directory, type-checked as one package. With IncludeTests,
+// in-package _test.go files join it; external (package foo_test) files
+// are skipped — direct-dir loads produce exactly one package, and `go
+// list`-driven loads handle external test packages separately.
 func (l *Loader) LoadDir(dir string) (*Package, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	var files []string
+	var files, testFiles []string
 	for _, e := range ents {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			testFiles = append(testFiles, filepath.Join(dir, name))
 			continue
 		}
 		files = append(files, filepath.Join(dir, name))
@@ -121,7 +151,31 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("no Go files in %s", dir)
 	}
+	if l.IncludeTests {
+		pkgName, err := packageName(files[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, tf := range testFiles {
+			tn, err := packageName(tf)
+			if err != nil {
+				return nil, err
+			}
+			if tn == pkgName {
+				files = append(files, tf)
+			}
+		}
+	}
 	return l.load("fixture/"+filepath.Base(dir), dir, files)
+}
+
+// packageName reads just the package clause of a file.
+func packageName(filename string) (string, error) {
+	f, err := parser.ParseFile(token.NewFileSet(), filename, nil, parser.PackageClauseOnly)
+	if err != nil {
+		return "", err
+	}
+	return f.Name.Name, nil
 }
 
 func (l *Loader) load(importPath, dir string, filenames []string) (*Package, error) {
@@ -158,9 +212,11 @@ func (l *Loader) load(importPath, dir string, filenames []string) (*Package, err
 
 // listPkg is the subset of `go list -json` output the loader consumes.
 type listPkg struct {
-	Dir        string
-	ImportPath string
-	GoFiles    []string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
 }
 
 func goList(patterns []string) ([]listPkg, error) {

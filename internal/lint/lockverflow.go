@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+
+	"tmsync/internal/lint/flow"
+)
+
+// LockVerFlow checks that every orec lock acquisition feeds the
+// transaction's MaxLockVer high-water mark before the commit timestamp
+// is taken. The deferred clock mode computes the commit timestamp from
+// the highest version observed under lock — an acquisition whose
+// version never reaches Tx.MaxLockVer lets Clock.Commit hand out a
+// timestamp at or below an already-published version, breaking the
+// strict-increase invariant the word-recheck soundness argument rests
+// on (one of the three PR 9 holes).
+//
+// The analyzer runs a forward reaching-facts pass: each acquisition
+// plants a fact, any statement touching MaxLockVer (the fold) or
+// aborting the transaction kills it, and a fact still live at a
+// Clock.Commit call or at function exit is a violation. Only functions
+// that participate in the engine commit protocol are checked (they
+// mention Tx.Locks, call Clock.Commit, or carry //tm:lock-acquire
+// directives), so raw locktable use in its own tests stays out of
+// scope. Builtin Table.CAS acquisitions inside such functions must also
+// carry the //tm:lock-acquire directive, keeping the vetted-site list
+// explicit in the source.
+var LockVerFlow = &Analyzer{
+	Name: "lockverflow",
+	Doc:  "every orec lock acquisition must update Tx.MaxLockVer before Clock.Commit",
+	Run:  runLockVerFlow,
+}
+
+func runLockVerFlow(p *Pass) {
+	pr := newProtocol(p)
+	for _, fd := range funcDecls(p) {
+		// Engine-context gate.
+		hasCommit := false
+		hasAnnotatedAcquire := false
+		var acquires []*ast.CallExpr
+		unannotated := map[*ast.CallExpr]bool{}
+		inspectWithStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || underDeferOrGo(stack) {
+				return true
+			}
+			if m, ok := pr.clockMethod(call); ok && m == "Commit" {
+				hasCommit = true
+			}
+			if acq, annotated := pr.isAcquire(call); acq {
+				acquires = append(acquires, call)
+				if annotated {
+					hasAnnotatedAcquire = true
+				} else {
+					unannotated[call] = true
+				}
+			}
+			return true
+		})
+		engineCtx := hasCommit || hasAnnotatedAcquire || mentionsName(fd.Body, "Locks")
+		if !engineCtx || len(acquires) == 0 {
+			continue
+		}
+		for _, call := range acquires {
+			if unannotated[call] {
+				p.Reportf(call.Pos(), "unannotated orec lock-acquisition site; mark it //%s", DirLockAcquire)
+			}
+		}
+
+		g := flow.New(fd.Body, pr.flowOpts())
+		isAcq := map[*ast.CallExpr]bool{}
+		for _, c := range acquires {
+			isAcq[c] = true
+		}
+		r := flow.Reach(g, func(n ast.Node) flow.Transfer {
+			var t flow.Transfer
+			// A MaxLockVer touch (the fold, including its guard
+			// comparison) satisfies every live acquisition; an abort
+			// abandons the attempt, so nothing flows past it.
+			kills := mentionsName(n, "MaxLockVer")
+			for _, c := range callsIn(n) {
+				if pr.isNoReturn(c) {
+					kills = true
+				}
+			}
+			if kills {
+				for _, a := range acquires {
+					t.Kill = append(t.Kill, a)
+				}
+			}
+			for _, c := range callsIn(n) {
+				if isAcq[c] {
+					t.Gen = append(t.Gen, c)
+				}
+			}
+			return t
+		})
+
+		report := func(facts flow.Facts, where string) {
+			for _, a := range acquires {
+				if facts[a] {
+					p.Reportf(a.Pos(), "orec lock acquisition has no reaching Tx.MaxLockVer update before %s", where)
+				}
+			}
+		}
+		// Check at each Clock.Commit call (facts evaluated before the
+		// call's own node, whose arguments typically mention
+		// MaxLockVer and would otherwise self-satisfy the check).
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if m, ok := pr.clockMethod(call); ok && m == "Commit" {
+				if b, _ := g.BlockOf(call); b != nil {
+					report(r.Before(call), "the Clock.Commit call")
+				}
+			}
+			return true
+		})
+		if !hasCommit {
+			// Acquisition helpers (e.g. an eager engine's Write) never
+			// see the commit call; the fold must still land before the
+			// function returns.
+			report(r.AtExit(), "function exit")
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Fixture for the lockverflow analyzer: every orec lock acquisition in
+// an engine commit context must have a reaching Tx.MaxLockVer update
+// before the commit timestamp is taken (or before function exit for
+// acquisition helpers), and builtin CAS acquisitions must carry the
+// //tm:lock-acquire directive.
+package lockverflow
+
+//tm:orec-table
+type table struct{ words [8]uint64 }
+
+func (t *table) Get(i int) uint64    { return t.words[i] }
+func (t *table) Set(i int, w uint64) { t.words[i] = w }
+
+func (t *table) CAS(i int, old, new uint64) bool {
+	if t.words[i] != old {
+		return false
+	}
+	t.words[i] = new
+	return true
+}
+
+//tm:clock-source
+type clock struct{ t uint64 }
+
+func (c *clock) Commit(start, maxLock uint64) uint64 {
+	if maxLock > c.t {
+		c.t = maxLock
+	}
+	c.t++
+	return c.t
+}
+
+type tx struct {
+	Start      uint64
+	MaxLockVer uint64
+	Locks      []int
+}
+
+//tm:noreturn
+func (x *tx) abort() {
+	panic("conflict")
+}
+
+// commitGood folds every acquired version into MaxLockVer before the
+// commit timestamp is taken.
+func commitGood(x *tx, t *table, c *clock) {
+	for _, i := range x.Locks {
+		w := t.Get(i)
+		//tm:lock-acquire
+		if !t.CAS(i, w, w|1) {
+			x.abort()
+		}
+		if v := w >> 1; v > x.MaxLockVer {
+			x.MaxLockVer = v
+		}
+	}
+	end := c.Commit(x.Start, x.MaxLockVer)
+	for _, i := range x.Locks {
+		t.Set(i, end<<1)
+	}
+}
+
+// commitMissingFold is the PR 9 bug shape: the acquisition's version
+// never reaches MaxLockVer, so the deferred clock can hand out a
+// timestamp at or below an already-published version.
+func commitMissingFold(x *tx, t *table, c *clock) {
+	for _, i := range x.Locks {
+		w := t.Get(i)
+		//tm:lock-acquire
+		if !t.CAS(i, w, w|1) { // want `orec lock acquisition has no reaching Tx\.MaxLockVer update before the Clock\.Commit call`
+			x.abort()
+		}
+	}
+	end := c.Commit(x.Start, x.MaxLockVer)
+	for _, i := range x.Locks {
+		t.Set(i, end<<1)
+	}
+}
+
+// commitUnannotated folds correctly but hides the acquisition site from
+// the vetted-site list.
+func commitUnannotated(x *tx, t *table, c *clock) {
+	for _, i := range x.Locks {
+		w := t.Get(i)
+		if !t.CAS(i, w, w|1) { // want `unannotated orec lock-acquisition site`
+			x.abort()
+		}
+		if v := w >> 1; v > x.MaxLockVer {
+			x.MaxLockVer = v
+		}
+	}
+	_ = c.Commit(x.Start, x.MaxLockVer)
+}
+
+// writeAcquiresGood is an eager-style acquisition helper: no Commit call
+// in sight, so the fold must land before the function returns (the abort
+// path abandons the attempt and needs no fold).
+func writeAcquiresGood(x *tx, t *table, i int) {
+	w := t.Get(i)
+	//tm:lock-acquire
+	if t.CAS(i, w, w|1) {
+		x.Locks = append(x.Locks, i)
+		if v := w >> 1; v > x.MaxLockVer {
+			x.MaxLockVer = v
+		}
+		return
+	}
+	x.abort()
+}
+
+// writeAcquiresLeaky lets the acquisition escape the helper without ever
+// folding its version.
+func writeAcquiresLeaky(x *tx, t *table, i int) {
+	w := t.Get(i)
+	//tm:lock-acquire
+	if t.CAS(i, w, w|1) { // want `orec lock acquisition has no reaching Tx\.MaxLockVer update before function exit`
+		x.Locks = append(x.Locks, i)
+	}
+}
+
+// rawTableUse is out of scope: no commit call, no Locks, no directive —
+// the locktable's own tests exercise CAS directly without being part of
+// the engine commit protocol.
+func rawTableUse(t *table) bool {
+	w := t.Get(0)
+	return t.CAS(0, w, w+1)
+}

@@ -120,6 +120,8 @@ func (v View) StripeOf(idx uint32) uint32 { return idx >> v.shift }
 // word-based STM. Slot indexes are global (0..Len-1) and stable for the
 // table's lifetime; the logical stripe count is a generation-tagged View
 // loaded through an atomic pointer and may be changed online with Resize.
+//
+//tm:orec-table
 type Table struct {
 	mask       uintptr
 	size       int

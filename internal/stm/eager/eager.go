@@ -96,6 +96,8 @@ func (e *Engine) Read(tx *tm.Tx, addr *uint64) uint64 {
 // still carries the version observed at read time, the transaction's
 // snapshot is valid at the current clock, so its start time may advance
 // instead of aborting on a too-new read.
+//
+//tm:extend
 func (e *Engine) tryExtend(tx *tm.Tx) bool {
 	now := e.sys.Clock.Now()
 	for i := range tx.Reads {
@@ -133,8 +135,13 @@ func (e *Engine) Write(tx *tm.Tx, addr *uint64, val uint64) {
 			// required: without it a rollback-republished version ahead
 			// of the clock could be locked and committed by a snapshot
 			// that never covered it.
-			ok = e.sys.Cfg.TimestampExtension && e.tryExtend(tx) && ver <= tx.Start
+			// The orec-word recheck is subsumed by the CAS below (it
+			// only succeeds against the sampled word w), but stating it
+			// here keeps the extension-acceptance shape uniform across
+			// engines and lets extrecheck verify it structurally.
+			ok = e.sys.Cfg.TimestampExtension && e.tryExtend(tx) && ver <= tx.Start && e.sys.Table.Get(idx) == w
 		}
+		//tm:lock-acquire
 		if ok && e.sys.Table.CAS(idx, w, locktable.LockedBy(tx.Thr.ID, ver)) {
 			if ver > tx.MaxLockVer {
 				tx.MaxLockVer = ver
@@ -206,6 +213,8 @@ func (e *Engine) Validate(tx *tm.Tx) bool { return e.validateReads(tx) }
 // version increase that timestamp extension relies on. It is safe to
 // call when the undo log has already been applied (AwaitSnapshot) and is
 // idempotent across repeated calls.
+//
+//tm:rollback
 func (e *Engine) Rollback(tx *tm.Tx) {
 	for i := len(tx.Undo) - 1; i >= 0; i-- {
 		atomic.StoreUint64(tx.Undo[i].Addr, tx.Undo[i].Old)

@@ -2,6 +2,7 @@ package eager_test
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"tmsync/internal/stm/eager"
@@ -81,7 +82,7 @@ func TestTimestampExtensionConcurrent(t *testing.T) {
 	sys := tm.NewSystem(tm.Config{Quiesce: true, TimestampExtension: true}, eager.New)
 	var x, y uint64
 	var wg sync.WaitGroup
-	bad := 0
+	var bad atomic.Int64
 	for w := 0; w < 3; w++ {
 		wg.Add(1)
 		go func() {
@@ -96,7 +97,6 @@ func TestTimestampExtensionConcurrent(t *testing.T) {
 			}
 		}()
 	}
-	var mu sync.Mutex
 	for r := 0; r < 3; r++ {
 		wg.Add(1)
 		go func() {
@@ -107,17 +107,15 @@ func TestTimestampExtensionConcurrent(t *testing.T) {
 					a := tx.Read(&x)
 					b := tx.Read(&y)
 					if a != b {
-						mu.Lock()
-						bad++
-						mu.Unlock()
+						bad.Add(1)
 					}
 				})
 			}
 		}()
 	}
 	wg.Wait()
-	if bad != 0 {
-		t.Fatalf("readers saw %d torn states with extension enabled", bad)
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("readers saw %d torn states with extension enabled", n)
 	}
 	if x != y || x != 9000 {
 		t.Fatalf("final x=%d y=%d", x, y)

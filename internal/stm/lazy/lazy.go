@@ -75,6 +75,8 @@ func (e *Engine) sampleRead(tx *tm.Tx, addr *uint64, extend bool) (uint64, uint3
 // exact-match comparison is what makes this sound under shared and
 // deferred timestamps: a version that merely stayed <= the new start
 // could still have been republished by an intervening commit.
+//
+//tm:extend
 func (e *Engine) tryExtend(tx *tm.Tx) bool {
 	now := e.sys.Clock.Now()
 	for i := range tx.Reads {
@@ -134,6 +136,7 @@ func (e *Engine) Commit(tx *tm.Tx) {
 			continue
 		}
 		w := e.sys.Table.Get(idx)
+		//tm:lock-acquire
 		if locktable.Locked(w) || !e.sys.Table.CAS(idx, w, locktable.LockedBy(tx.Thr.ID, locktable.Version(w))) {
 			tx.Abort(tm.AbortConflict)
 		}
@@ -204,6 +207,8 @@ func (e *Engine) Validate(tx *tm.Tx) bool { return e.validateReads(tx) }
 // a version ahead of the clock could be handed out again by a concurrent
 // Commit, breaking the strict per-orec version increase that timestamp
 // extension relies on.
+//
+//tm:rollback
 func (e *Engine) Rollback(tx *tm.Tx) {
 	if len(tx.Locks) == 0 {
 		return

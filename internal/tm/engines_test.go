@@ -2,6 +2,7 @@ package tm_test
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"tmsync/internal/htm"
@@ -502,8 +503,7 @@ func TestHTMSerialSectionsExclusive(t *testing.T) {
 	// Force every transaction serial via zero max retries and verify
 	// mutual exclusion of serial sections with a non-transactional probe.
 	sys := tm.NewSystem(tm.Config{HTMMaxRetries: -1}, htm.New)
-	var inside, maxInside int64
-	var mu sync.Mutex
+	var inside, maxInside atomic.Int64
 	var counter uint64
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
@@ -513,16 +513,15 @@ func TestHTMSerialSectionsExclusive(t *testing.T) {
 			thr := sys.NewThread()
 			for i := 0; i < 300; i++ {
 				thr.Atomic(func(tx *tm.Tx) {
-					mu.Lock()
-					inside++
-					if inside > maxInside {
-						maxInside = inside
+					cur := inside.Add(1)
+					for {
+						max := maxInside.Load()
+						if cur <= max || maxInside.CompareAndSwap(max, cur) {
+							break
+						}
 					}
-					mu.Unlock()
 					tx.Write(&counter, tx.Read(&counter)+1)
-					mu.Lock()
-					inside--
-					mu.Unlock()
+					inside.Add(-1)
 				})
 			}
 		}()
@@ -531,8 +530,8 @@ func TestHTMSerialSectionsExclusive(t *testing.T) {
 	if counter != 1200 {
 		t.Fatalf("counter = %d", counter)
 	}
-	if maxInside != 1 {
-		t.Fatalf("serial sections overlapped: max concurrency %d", maxInside)
+	if m := maxInside.Load(); m != 1 {
+		t.Fatalf("serial sections overlapped: max concurrency %d", m)
 	}
 }
 

@@ -14,8 +14,7 @@ import (
 // observes concurrency.
 func TestIrrevocableExclusive(t *testing.T) {
 	forEachEngine(t, func(t *testing.T, sys *tm.System) {
-		var inside, maxInside int64
-		var mu sync.Mutex
+		var inside, maxInside atomic.Int64
 		var counter uint64
 		var wg sync.WaitGroup
 		const workers = 4
@@ -28,16 +27,15 @@ func TestIrrevocableExclusive(t *testing.T) {
 				for i := 0; i < per; i++ {
 					thr.Atomic(func(tx *tm.Tx) {
 						tx.Irrevocable()
-						mu.Lock()
-						inside++
-						if inside > maxInside {
-							maxInside = inside
+						cur := inside.Add(1)
+						for {
+							max := maxInside.Load()
+							if cur <= max || maxInside.CompareAndSwap(max, cur) {
+								break
+							}
 						}
-						mu.Unlock()
 						tx.Write(&counter, tx.Read(&counter)+1)
-						mu.Lock()
-						inside--
-						mu.Unlock()
+						inside.Add(-1)
 					})
 				}
 			}()
@@ -46,8 +44,8 @@ func TestIrrevocableExclusive(t *testing.T) {
 		if counter != workers*per {
 			t.Fatalf("counter = %d, want %d", counter, workers*per)
 		}
-		if maxInside != 1 {
-			t.Fatalf("irrevocable sections overlapped: max concurrency %d", maxInside)
+		if m := maxInside.Load(); m != 1 {
+			t.Fatalf("irrevocable sections overlapped: max concurrency %d", m)
 		}
 	})
 }

@@ -2,6 +2,7 @@ package tm_test
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"tmsync/internal/stm/eager"
@@ -29,8 +30,7 @@ func TestPrivatizationSafety(t *testing.T) {
 			var published uint64 = 1 // 1 = region is shared, 0 = privatized
 			var wg sync.WaitGroup
 			stop := make(chan struct{})
-			torn := 0
-			var mu sync.Mutex
+			var torn atomic.Int64
 
 			for r := 0; r < 3; r++ {
 				wg.Add(1)
@@ -51,9 +51,7 @@ func TestPrivatizationSafety(t *testing.T) {
 							first := tx.Read(&region[0])
 							for i := 1; i < regionLen; i++ {
 								if tx.Read(&region[i]) != first {
-									mu.Lock()
-									torn++
-									mu.Unlock()
+									torn.Add(1)
 								}
 							}
 						})
@@ -78,8 +76,8 @@ func TestPrivatizationSafety(t *testing.T) {
 			}
 			close(stop)
 			wg.Wait()
-			if torn != 0 {
-				t.Fatalf("readers observed %d torn region states (privatization unsafe)", torn)
+			if n := torn.Load(); n != 0 {
+				t.Fatalf("readers observed %d torn region states (privatization unsafe)", n)
 			}
 		})
 	}

@@ -327,6 +327,8 @@ func (tx *Tx) LogWait(addr *uint64, val uint64) {
 
 // Abort explicitly aborts the current attempt with the given reason. It
 // unwinds to the driver, which rolls back and re-executes after backoff.
+//
+//tm:noreturn
 func (tx *Tx) Abort(reason AbortReason) {
 	panic(abortSig{reason: reason})
 }
@@ -334,6 +336,8 @@ func (tx *Tx) Abort(reason AbortReason) {
 // Restart aborts the current attempt and re-executes immediately, without
 // backoff growth. This is the "Restart" baseline of the evaluation: abort
 // and immediately re-attempt whenever a precondition does not hold.
+//
+//tm:noreturn
 func (tx *Tx) Restart() {
 	tx.Sys.Stats.ExplicitRestarts.Add(1)
 	panic(restartSig{})
@@ -342,6 +346,8 @@ func (tx *Tx) Restart() {
 // RestartTagged aborts the current attempt and re-executes it with IsRetry
 // set, so the engine logs an address/value waitset on every read
 // (restart-to-populate of Algorithm 5).
+//
+//tm:noreturn
 func (tx *Tx) RestartTagged() {
 	tx.IsRetry = true
 	panic(restartSig{})
@@ -351,6 +357,8 @@ func (tx *Tx) RestartTagged() {
 // instrumented software mode. Hardware transactions use it when they need
 // escape actions (Retry, Await, WaitPred); software engines treat it as a
 // plain immediate restart.
+//
+//tm:noreturn
 func (tx *Tx) RestartSoftware() {
 	tx.WantSoftware = true
 	panic(restartSig{})

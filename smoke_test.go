@@ -8,6 +8,7 @@ package tmsync_test
 // in its output.
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -149,8 +150,12 @@ func TestSmokeCommands(t *testing.T) {
 		{"parsecbench", []string{"-quick", "-engine", "lazy", "-trials", "1", "-bench", "dedup"}, "dedup"},
 		{"loctable", nil, "bodytrack"},
 		{"tmlint", []string{"./..."}, "tmlint: ok"},
+		{"tmlint", []string{"-tests", "./..."}, "tmlint: ok"},
 		{"tmlint", []string{"-list"}, "lockorder"},
+		{"tmlint", []string{"-list"}, "bumporder"},
 		{"tmlint", []string{"-analyzers", "monoclock,padcheck", "./internal/core/"}, "tmlint: ok"},
+		{"tmlint", []string{"-analyzers", "bumporder,commitstamp,extrecheck,lockverflow", "./internal/stm/...", "./internal/hybrid/", "./internal/htm/"}, "tmlint: ok"},
+		{"tmlint", []string{"-json", "./internal/locktable/"}, `"ok": true`},
 	}
 	for _, c := range cases {
 		name := c.name + strings.Join(c.args, "_")
@@ -207,6 +212,58 @@ func TestSmokeTmlintUsage(t *testing.T) {
 				t.Errorf("tmlint %v: no diagnostic printed:\n%s", args, out)
 			}
 		})
+	}
+}
+
+// TestSmokeTmlintJSON pins the machine-readable output contract: a
+// firing fixture package must exit 1 and emit a JSON report whose
+// violations carry the analyzer name, position, message, and the //tm:
+// directives in effect at the reported line.
+func TestSmokeTmlintJSON(t *testing.T) {
+	bin := filepath.Join(smokeBinaries(t), "tmlint")
+	fixture := filepath.Join("internal", "lint", "testdata", "src", "lockverflow")
+	cmd := exec.Command(bin, "-json", "-analyzers", "lockverflow", fixture)
+	cmd.Dir = repoRoot(t)
+	out, err := cmd.Output()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("tmlint -json on firing fixture: want exit status 1, got err=%v\n%s", err, out)
+	}
+	var rep struct {
+		OK         bool     `json:"ok"`
+		Packages   int      `json:"packages"`
+		Analyzers  []string `json:"analyzers"`
+		Violations []struct {
+			Analyzer   string   `json:"analyzer"`
+			File       string   `json:"file"`
+			Line       int      `json:"line"`
+			Col        int      `json:"col"`
+			Message    string   `json:"message"`
+			Directives []string `json:"directives"`
+		} `json:"violations"`
+	}
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatalf("tmlint -json output is not valid JSON: %v\n%s", err, out)
+	}
+	if rep.OK || rep.Packages != 1 || len(rep.Violations) == 0 {
+		t.Fatalf("unexpected report shape: %+v", rep)
+	}
+	foundDirective := false
+	for _, v := range rep.Violations {
+		if v.Analyzer != "lockverflow" {
+			t.Errorf("violation names analyzer %q, want lockverflow", v.Analyzer)
+		}
+		if !strings.Contains(v.File, "lockverflow") || v.Line == 0 || v.Col == 0 || v.Message == "" {
+			t.Errorf("violation missing position or message: %+v", v)
+		}
+		for _, d := range v.Directives {
+			if d == "tm:lock-acquire" {
+				foundDirective = true
+			}
+		}
+	}
+	if !foundDirective {
+		t.Errorf("no violation carried the tm:lock-acquire directive context: %+v", rep.Violations)
 	}
 }
 
